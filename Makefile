@@ -1,0 +1,34 @@
+# Convenience targets for the progresscap repository.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pubsub/ ./internal/mpi/ ./internal/omp/
+
+# One benchmark per paper table/figure plus ablations and micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure as text.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Regenerate everything with CSV data and SVG figures under out/.
+figures:
+	$(GO) run ./cmd/experiments -csv out -svg out
+
+clean:
+	rm -rf out

@@ -1,0 +1,264 @@
+package progresscap
+
+// One benchmark per table and figure of the paper (see DESIGN.md's
+// experiment index): each regenerates the artifact at the harness's
+// default scale and reports headline numbers as custom metrics. Run with
+//
+//	go test -bench=. -benchmem
+//
+// plus micro-benchmarks of the simulation substrate at the bottom.
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/counters"
+	"progresscap/internal/engine"
+	"progresscap/internal/experiments"
+	"progresscap/internal/msr"
+	"progresscap/internal/pubsub"
+	"progresscap/internal/stats"
+	"progresscap/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{RunSeconds: 12, Reps: 3, Seed: 1}
+}
+
+func BenchmarkTable1MIPSVsProgress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		art, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if art.Tables[0].NumRows() != 2 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable2to4Metadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		art := experiments.Tables2to4()
+		if len(art.Tables) != 3 {
+			b.Fatal("unexpected artifact shape")
+		}
+	}
+}
+
+func BenchmarkTable5Categorization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		art := experiments.Table5()
+		if art.Tables[0].NumRows() != 9 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable6BetaMPO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		art, err := experiments.Table6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if art.Tables[0].NumRows() != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkFigure1Characterize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2RAPLAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3DynamicSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4ModelVsMeasured(b *testing.B) {
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.Figure4Data(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var errs []float64
+		for _, app := range data {
+			for _, p := range app.Points {
+				errs = append(errs, p.ErrPct)
+			}
+		}
+		meanErr = stats.Mean(errs)
+	}
+	b.ReportMetric(meanErr, "mean-model-err-%")
+}
+
+func BenchmarkFigure5RAPLvsDVFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension / ablation benchmarks (DESIGN.md extensions) ---
+
+// BenchmarkAblationAlphaFit quantifies the model improvement from
+// fitting α per application instead of the paper's fixed α=2.
+func BenchmarkAblationAlphaFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtAlphaFit(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTechniques compares the NRM's three power-limiting
+// knobs (RAPL / DVFS / DDCM) on compute- and memory-bound codes.
+func BenchmarkAblationTechniques(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtTechniques(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompositeProgress exercises the Category 3 (URBAN) weighted
+// multi-component progress extension.
+func BenchmarkCompositeProgress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtComposite(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationClusterPolicies compares job-level power-division
+// policies over heterogeneous nodes.
+func BenchmarkAblationClusterPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtCluster(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEnergy sweeps energy-to-solution and EDP across the
+// cap range for fixed work.
+func BenchmarkAblationEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtEnergy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMethod cross-validates constant-cap measurement
+// against the paper's step schedule.
+func BenchmarkAblationMethod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtMethod(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkEngineTicks measures raw co-simulation throughput: virtual
+// seconds of a 24-rank LAMMPS run simulated per wall second.
+func BenchmarkEngineTicks(b *testing.B) {
+	b.ReportAllocs()
+	var virtual time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := engine.DefaultConfig()
+		cfg.Seed = uint64(i + 1)
+		e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, 100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.Run(time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += res.Elapsed
+	}
+	b.ReportMetric(virtual.Seconds()/b.Elapsed().Seconds(), "virtual-s/s")
+}
+
+func BenchmarkWorkloadStep(b *testing.B) {
+	w := apps.STREAM(apps.DefaultRanks, 1<<30)
+	bank := counters.NewBank(apps.DefaultRanks)
+	e, err := workload.NewExec(w, bank, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		now += 100 * time.Microsecond
+		e.Step(now, 100*time.Microsecond, 3.3e9, 1)
+	}
+}
+
+func BenchmarkPubSubPublish(b *testing.B) {
+	bus := pubsub.NewBus()
+	sub := bus.Subscribe("progress.", 1024)
+	payload := []byte("12345.678")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(pubsub.Message{Topic: "progress.lammps", Payload: payload})
+		if i%512 == 0 {
+			sub.DrainInto(nil)
+		}
+	}
+}
+
+func BenchmarkMSRWriteRead(b *testing.B) {
+	dev := msr.NewDevice(24, nil)
+	u := msr.DefaultUnits()
+	val := msr.EncodePowerLimit(msr.PowerLimit{Watts: 100, Enabled: true, WindowSeconds: 0.01}, u)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.Write(msr.PkgPowerLimit, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dev.Read(msr.PkgPowerLimit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPredict(b *testing.B) {
+	c := Characterization{App: "STREAM", Beta: 0.37, BaselineRate: 16, BaselinePkgW: 180}
+	m, err := FitModel(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.PredictDelta(60 + float64(i%100))
+	}
+	_ = sink
+}

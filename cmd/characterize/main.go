@@ -1,0 +1,76 @@
+// Command characterize runs the paper's §IV-A characterization for an
+// application on the simulated node — β from execution times at 3300 vs
+// 1600 MHz, MPO from the counters, and the uncapped baseline — and
+// prints it, optionally as a JSON model file other tools can reuse.
+//
+// Usage:
+//
+//	characterize -app STREAM
+//	characterize -app QMCPACK -seconds 20 -json qmcpack.json
+//	characterize -app LAMMPS -predict 160,120,80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"progresscap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+
+	app := flag.String("app", "", "application to characterize (required)")
+	seconds := flag.Float64("seconds", 15, "virtual seconds per measurement run")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	jsonPath := flag.String("json", "", "write the characterization to this JSON file")
+	predict := flag.String("predict", "", "comma-separated package caps (W) to predict progress for")
+	flag.Parse()
+
+	if *app == "" {
+		log.Fatal("-app is required; runnable applications: LAMMPS, AMG, QMCPACK, OpenMC, STREAM, CANDLE")
+	}
+
+	c, err := progresscap.Characterize(*app, *seconds, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application:    %s\n", c.App)
+	fmt.Printf("beta:           %.3f\n", c.Beta)
+	fmt.Printf("MPO:            %.4g (%.2f ×10⁻³)\n", c.MPO, c.MPO*1e3)
+	fmt.Printf("baseline rate:  %.3f units/s\n", c.BaselineRate)
+	fmt.Printf("baseline power: %.1f W package\n", c.BaselinePkgW)
+
+	if *jsonPath != "" {
+		data, err := c.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if *predict != "" {
+		m, err := progresscap.FitModel(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmodel predictions (α=%.1f, P_corecap=β·P_cap):\n", m.Alpha())
+		fmt.Printf("%10s  %14s  %10s\n", "P_cap (W)", "progress/s", "Δ vs base")
+		for _, tok := range strings.Split(*predict, ",") {
+			capW, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				log.Fatalf("bad cap %q: %v", tok, err)
+			}
+			p := m.PredictProgress(capW)
+			fmt.Printf("%10.0f  %14.3f  %9.1f%%\n", capW, p, 100*(p-c.BaselineRate)/c.BaselineRate)
+		}
+	}
+}

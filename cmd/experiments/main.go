@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated node and prints them as text.
+//
+// Usage:
+//
+//	experiments [-run table1,table6,fig4] [-seconds 12] [-reps 3] [-seed 1]
+//
+// With no -run flag every artifact is produced in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"progresscap/internal/experiments"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster); empty = all")
+	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
+	reps := flag.Int("reps", 3, "repetitions per power cap (Figure 4)")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	csvDir := flag.String("csv", "", "also write each artifact's tables as CSV files into this directory")
+	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
+	flag.Parse()
+
+	for _, dir := range []string{*csvDir, *svgDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: creating %s: %v\n", dir, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	opts := experiments.Options{RunSeconds: *seconds, Reps: *reps, Seed: *seed}
+
+	type gen struct {
+		id string
+		fn func(experiments.Options) (*experiments.Artifact, error)
+	}
+	gens := []gen{
+		{"table1", experiments.Table1},
+		{"tables2to4", func(experiments.Options) (*experiments.Artifact, error) { return experiments.Tables2to4(), nil }},
+		{"table5", func(experiments.Options) (*experiments.Artifact, error) { return experiments.Table5(), nil }},
+		{"table6", experiments.Table6},
+		{"fig1", experiments.Figure1},
+		{"fig2", experiments.Figure2},
+		{"fig3", experiments.Figure3},
+		{"fig4", experiments.Figure4},
+		{"fig5", experiments.Figure5},
+		{"ext-alpha", experiments.ExtAlphaFit},
+		{"ext-techniques", experiments.ExtTechniques},
+		{"ext-composite", experiments.ExtComposite},
+		{"ext-cluster", experiments.ExtCluster},
+		{"ext-energy", experiments.ExtEnergy},
+		{"ext-method", experiments.ExtMethod},
+	}
+
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			found := false
+			for _, g := range gens {
+				if g.id == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	exit := 0
+	for _, g := range gens {
+		if len(want) > 0 && !want[g.id] {
+			continue
+		}
+		art, err := g.fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", g.id, err)
+			exit = 1
+			continue
+		}
+		fmt.Println(art.Render())
+		if *csvDir != "" {
+			for i, tbl := range art.Tables {
+				name := fmt.Sprintf("%s_%d.csv", art.ID, i)
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(tbl.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", name, err)
+					exit = 1
+				}
+			}
+		}
+		if *svgDir != "" {
+			for _, fig := range art.Figures {
+				name := fig.Name + ".svg"
+				if err := os.WriteFile(filepath.Join(*svgDir, name), []byte(fig.Plot.SVG()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", name, err)
+					exit = 1
+				}
+			}
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,76 @@
+// Command progressmon is the monitoring half of the paper's progress
+// framework: it subscribes to an application's progress stream over TCP
+// pub/sub, aggregates raw reports once per second, and prints the online
+// performance — run it against `powerpolicy -publish`.
+//
+// Usage:
+//
+//	progressmon -connect 127.0.0.1:5556 [-topic progress.] [-window 1s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"progresscap/internal/progress"
+	"progresscap/internal/pubsub"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("progressmon: ")
+
+	addr := flag.String("connect", "127.0.0.1:5556", "powerpolicy -publish address")
+	topic := flag.String("topic", "progress.", "topic prefix to subscribe to")
+	window := flag.Duration("window", time.Second, "aggregation window (wall time)")
+	flag.Parse()
+
+	sub, err := pubsub.Dial(*addr, *topic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	log.Printf("subscribed to %q at %s", *topic, *addr)
+
+	mon := progress.NewMonitor(*window)
+	detector, err := progress.NewPhaseDetector(0.2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ticker := time.NewTicker(*window)
+	defer ticker.Stop()
+	start := time.Now()
+
+	finish := func() {
+		b := progress.Classify(mon.Rates())
+		log.Printf("stream ended: %d reports, behavior %s, %d phase changes",
+			mon.Reports(), b, len(detector.Changes()))
+	}
+	for {
+		select {
+		case m, ok := <-sub.C():
+			if !ok {
+				finish()
+				return
+			}
+			rep, err := progress.UnmarshalReport(m.Payload)
+			if err != nil {
+				log.Printf("bad report: %v", err)
+				continue
+			}
+			mon.Offer(rep)
+		case <-ticker.C:
+			s := mon.Flush(time.Since(start))
+			note := ""
+			if detector.Offer(s.Rate) {
+				ch := detector.Changes()
+				last := ch[len(ch)-1]
+				note = fmt.Sprintf("   <- phase change (%.4g -> %.4g)", last.OldLevel, last.NewLevel)
+			}
+			fmt.Printf("%8.1fs  rate=%12.2f/s  reports=%d  phase=%s%s\n",
+				s.At.Seconds(), s.Rate, s.Reports, s.Phase, note)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package progresscap_test
+
+import (
+	"fmt"
+	"time"
+
+	"progresscap"
+)
+
+// ExampleRun demonstrates the basic workflow: run an application under a
+// dynamic power cap and inspect its online performance.
+func ExampleRun() {
+	report, err := progresscap.Run(progresscap.RunConfig{
+		App:     "LAMMPS",
+		Seconds: 10,
+		Scheme:  progresscap.StepCap(0, 90, 4*time.Second, 4*time.Second),
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	lo, hi := report.Progress.Values[0], report.Progress.Values[0]
+	for _, v := range report.Progress.Values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Println("metric:", report.Metric)
+	fmt.Println("completed:", report.Completed)
+	fmt.Println("progress follows the cap:", lo < 0.8*hi)
+	// Output:
+	// metric: atom timesteps/s
+	// completed: true
+	// progress follows the cap: true
+}
+
+// ExampleApplications lists the paper's application set.
+func ExampleApplications() {
+	for _, a := range progresscap.Applications() {
+		if a.Category == "3" {
+			fmt.Printf("%s: %s (Category 3)\n", a.Name, a.Metric)
+		}
+	}
+	// Output:
+	// URBAN: N/A (Category 3)
+	// Nek5000: N/A (Category 3)
+	// HACC: N/A (Category 3)
+}
+
+// ExampleModel_CapForProgress shows the model answering the paper's
+// budgeting question: what cap sustains a target online performance?
+func ExampleModel_CapForProgress() {
+	c := progresscap.Characterization{
+		App:          "STREAM",
+		Beta:         0.37,
+		BaselineRate: 16,
+		BaselinePkgW: 185,
+	}
+	m, err := progresscap.FitModel(c)
+	if err != nil {
+		panic(err)
+	}
+	capW, err := m.CapForProgress(12) // sustain 12 iterations/s
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("budget %.0f W for 12 it/s\n", capW)
+	// Output:
+	// budget 51 W for 12 it/s
+}
+
+// ExampleScheme shows the available dynamic capping schemes.
+func ExampleScheme() {
+	fmt.Println(progresscap.NoCap().Name())
+	fmt.Println(progresscap.LinearCap(4*time.Second, 170, 80, 5).Name())
+	fmt.Println(progresscap.StepCap(0, 90, 10*time.Second, 10*time.Second).Name())
+	fmt.Println(progresscap.JaggedCap(170, 80, 8*time.Second, 4*time.Second).Name())
+	// Output:
+	// uncapped
+	// linear-decrease
+	// step-function
+	// jagged-edge
+}

@@ -1,0 +1,43 @@
+// Cluster demonstrates the level above the node in the paper's Argo
+// power-management hierarchy (§II): a job of three 24-core nodes with
+// heterogeneous silicon receives one power budget, and the job manager
+// divides it using per-node online progress. Progress-aware division
+// raises the job's synchronous (minimum) progress and collapses the
+// spread between nodes compared with an equal split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"progresscap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	nodes := []progresscap.NodeSpec{
+		{Name: "good", App: "LAMMPS", PowerScale: 1.00, Seed: 1},
+		{Name: "ok", App: "LAMMPS", PowerScale: 1.12, Seed: 2},
+		{Name: "leaky", App: "LAMMPS", PowerScale: 1.25, Seed: 3},
+	}
+
+	fmt.Printf("%16s  %18s  %18s\n", "policy", "mean min-progress", "total energy (kJ)")
+	for _, policy := range []string{"equal-split", "progress-aware"} {
+		rep, err := progresscap.RunCluster(progresscap.ClusterConfig{
+			Nodes:   nodes,
+			Policy:  policy,
+			BudgetW: 330,
+			Seconds: 30,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%16s  %18.3f  %18.1f\n", policy, rep.MeanMinProgress, rep.TotalEnergyJ/1000)
+	}
+
+	fmt.Println("\nWith the same 330 W job budget, steering power toward the node whose")
+	fmt.Println("online progress lags (the least efficient silicon) raises the rate at")
+	fmt.Println("which the whole bulk-synchronous job advances — a policy that requires")
+	fmt.Println("the paper's application-level progress metric, not just power telemetry.")
+}

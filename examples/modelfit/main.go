@@ -1,0 +1,78 @@
+// Modelfit walks the paper's Fig 4 workflow for one application:
+// characterize β with the two-frequency procedure, fit the analytical
+// model (α = 2, P_corecap = β·P_cap), then compare its predicted change
+// in progress against measurement across a package-cap sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"progresscap"
+)
+
+func main() {
+	log.SetFlags(0)
+	// LAMMPS default: single-phase, so the baseline and the capped runs
+	// measure the same work mix even for short -seconds values. Phased
+	// applications (QMCPACK, OpenMC) want -seconds 20+ so one phase
+	// dominates the averages.
+	app := flag.String("app", "LAMMPS", "application to model")
+	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
+	flag.Parse()
+
+	c, err := progresscap.Characterize(*app, *seconds, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s characterization: β=%.2f MPO=%.3g baseline=%.2f/s at %.1f W package\n\n",
+		c.App, c.Beta, c.MPO, c.BaselineRate, c.BaselinePkgW)
+
+	m, err := progresscap.FitModel(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%10s  %12s  %12s  %8s\n", "P_cap(W)", "measured Δ", "predicted Δ", "err %")
+	for _, capW := range []float64{160, 140, 120, 100, 80, 65} {
+		rep, err := progresscap.Run(progresscap.RunConfig{
+			App:     *app,
+			Seconds: *seconds,
+			Scheme:  progresscap.ConstantCap(capW),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Steady capped rate: skip the controller's settling windows.
+		rates := rep.Progress.Values
+		if len(rates) > 3 {
+			rates = rates[2 : len(rates)-1]
+		}
+		var sum float64
+		for _, r := range rates {
+			sum += r
+		}
+		measured := c.BaselineRate - sum/float64(len(rates))
+		predicted := m.PredictDelta(capW)
+		errPct := 0.0
+		if measured != 0 {
+			errPct = 100 * abs(measured-predicted) / abs(measured)
+		}
+		fmt.Printf("%10.0f  %12.3f  %12.3f  %8.1f\n", capW, measured, predicted, errPct)
+	}
+
+	target := c.BaselineRate * 0.75
+	capW, err := m.CapForProgress(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTo sustain %.2f/s (75%% of baseline) the model budgets a %.0f W package cap.\n", target, capW)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,41 @@
+// Quickstart: run the LAMMPS workload model on the simulated node under
+// the paper's step-function power cap and watch the online performance
+// follow the cap (paper Fig 3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"progresscap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	report, err := progresscap.Run(progresscap.RunConfig{
+		App:     "LAMMPS",
+		Seconds: 40,
+		// Alternate: uncapped for 10 s, then a 90 W package cap for 10 s.
+		Scheme: progresscap.StepCap(0, 90, 10*time.Second, 10*time.Second),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application: %s (%s)\n", report.App, report.Metric)
+	fmt.Printf("completed:   %v in %.1f virtual seconds, %.0f J\n",
+		report.Completed, report.Elapsed, report.EnergyJ)
+	fmt.Printf("behavior:    %s, mean %.0f %s\n\n", report.Behavior, report.MeanRate, report.Metric)
+
+	fmt.Printf("%6s  %10s  %10s  %14s\n", "t(s)", "cap(W)", "power(W)", "progress/s")
+	for i, ts := range report.Progress.Times {
+		capW := "none"
+		if i < len(report.CapW.Values) && report.CapW.Values[i] > 0 {
+			capW = fmt.Sprintf("%.0f", report.CapW.Values[i])
+		}
+		fmt.Printf("%6.1f  %10s  %10.1f  %14.0f\n",
+			ts, capW, report.PowerW.Values[i], report.Progress.Values[i])
+	}
+}

@@ -1,0 +1,70 @@
+// System plays out the full Argo power-management hierarchy from the
+// paper's motivation (§II) across all three levels: a system controller
+// distributes the machine's power envelope across jobs by priority, each
+// job's manager divides its budget across nodes using online progress,
+// and each node's RAPL enforcement carries the cap to the hardware.
+//
+// A low-priority job starts alone with the whole 260 W envelope; at
+// t=12 s a high-priority job arrives and the system cuts the
+// low-priority budget — watch its online progress track the cut.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/cluster"
+	"progresscap/internal/engine"
+)
+
+func newJobManager(steps int, seed uint64) *cluster.Manager {
+	cfg := engine.DefaultConfig()
+	cfg.Seed = seed
+	e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, steps))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cluster.NewManager(cluster.EqualSplit{}, cluster.ConstantBudget(1e9),
+		cluster.NewNode(fmt.Sprintf("node-%d", seed), e))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	log.SetFlags(0)
+
+	low := newJobManager(1200, 1)
+	high := newJobManager(400, 7)
+
+	sys, err := cluster.NewSystem(260,
+		cluster.NewSystemJob("low-priority", 1, 60, 0, low),
+		cluster.NewSystemJob("high-priority", 4, 60, 12, high),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.Run(45 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lowRes := results["low-priority"]
+	fmt.Printf("%6s  %12s  %18s\n", "epoch", "budget (W)", "norm. progress")
+	budgets := lowRes.BudgetTrace.Values()
+	prog := lowRes.MeanProgress.Values()
+	for i := 0; i < len(budgets) && i < len(prog); i++ {
+		marker := ""
+		if i == 12 {
+			marker = "   <- high-priority job arrives"
+		}
+		fmt.Printf("%6d  %12.0f  %18.2f%s\n", i, budgets[i], prog[i], marker)
+	}
+	fmt.Println("\nThe system controller cut the low-priority job's budget when the")
+	fmt.Println("high-priority job arrived; the job's NRM enforced the cut via RAPL and")
+	fmt.Println("its online progress dropped accordingly — the paper's §II scenario")
+	fmt.Println("running across all three levels of the hierarchy.")
+}

@@ -1,0 +1,142 @@
+package progresscap
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRunURBANUncapped(t *testing.T) {
+	rep, err := RunURBAN(16, Scheme{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("URBAN did not complete")
+	}
+	if len(rep.Components) != 2 {
+		t.Fatalf("components = %d", len(rep.Components))
+	}
+	names := map[string]bool{}
+	for _, c := range rep.Components {
+		names[c.Name] = true
+		if c.Baseline <= 0 {
+			t.Fatalf("%s baseline = %v", c.Name, c.Baseline)
+		}
+		if len(c.Progress.Values) == 0 {
+			t.Fatalf("%s has no progress series", c.Name)
+		}
+	}
+	if !names["nek5000"] || !names["energyplus"] {
+		t.Fatalf("component names = %v", names)
+	}
+	// Composite hovers near 1.0 uncapped (interior windows).
+	vals := rep.Composite.Values
+	if len(vals) < 6 {
+		t.Fatalf("composite windows = %d", len(vals))
+	}
+	var sum float64
+	for _, v := range vals[2 : len(vals)-2] {
+		sum += v
+	}
+	mid := sum / float64(len(vals)-4)
+	if math.Abs(mid-1) > 0.2 {
+		t.Fatalf("uncapped composite = %v, want ~1", mid)
+	}
+}
+
+func TestRunURBANCappedDegrades(t *testing.T) {
+	capped, err := RunURBAN(14, ConstantCap(85), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.CapW.Values) == 0 {
+		t.Fatal("capped run missing cap series")
+	}
+	vals := capped.Composite.Values
+	var sum float64
+	n := 0
+	for _, v := range vals[2:] {
+		sum += v
+		n++
+	}
+	if n == 0 || sum/float64(n) > 0.9 {
+		t.Fatalf("capped composite = %v, want well below 1", sum/float64(max(n, 1)))
+	}
+}
+
+func TestRunURBANValidation(t *testing.T) {
+	if _, err := RunURBAN(2, Scheme{}, 1); err == nil {
+		t.Fatal("too-short URBAN accepted")
+	}
+}
+
+func TestRunClusterEqualSplit(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		Nodes: []NodeSpec{
+			{Name: "a", App: "LAMMPS"},
+			{Name: "b", App: "LAMMPS", PowerScale: 1.15},
+		},
+		BudgetW: 280,
+		Seconds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("cluster job incomplete")
+	}
+	if len(rep.NodeCaps) != 2 {
+		t.Fatalf("node caps = %d", len(rep.NodeCaps))
+	}
+	if rep.MeanMinProgress <= 0 || rep.MeanMinProgress > 1.2 {
+		t.Fatalf("MeanMinProgress = %v", rep.MeanMinProgress)
+	}
+	if rep.TotalEnergyJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if len(rep.MinProgress.Values) == 0 || len(rep.BudgetW.Values) == 0 {
+		t.Fatal("missing series")
+	}
+}
+
+func TestRunClusterDecayingBudget(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		Nodes:       []NodeSpec{{App: "LAMMPS"}},
+		BudgetW:     200,
+		BudgetEndW:  90,
+		BudgetDecay: 10 * time.Second,
+		Seconds:     15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.BudgetW.Values
+	if b[0] != 200 || b[len(b)-1] != 90 {
+		t.Fatalf("budget endpoints = %v, %v", b[0], b[len(b)-1])
+	}
+}
+
+func TestRunClusterValidation(t *testing.T) {
+	if _, err := RunCluster(ClusterConfig{BudgetW: 100}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := RunCluster(ClusterConfig{Nodes: []NodeSpec{{App: "LAMMPS"}}}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := RunCluster(ClusterConfig{Nodes: []NodeSpec{{App: "HACC"}}, BudgetW: 100}); err == nil {
+		t.Fatal("Category 3 node accepted")
+	}
+	if _, err := RunCluster(ClusterConfig{
+		Nodes: []NodeSpec{{App: "LAMMPS"}}, BudgetW: 100, Policy: "bogus",
+	}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module progresscap
+
+go 1.22

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/stats"
+)
+
+func newManagerForJob(t *testing.T, steps int, seedBase uint64, nodes int) *Manager {
+	t.Helper()
+	var ns []*Node
+	for i := 0; i < nodes; i++ {
+		ns = append(ns, newNode(t, nodeName(i), apps.LAMMPS(apps.DefaultRanks, steps), 0, seedBase+uint64(i)))
+	}
+	m, err := NewManager(EqualSplit{}, ConstantBudget(1e9), ns...) // budget overridden by the system
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func nodeName(i int) string { return string(rune('a'+i)) + "-node" }
+
+func TestSystemValidation(t *testing.T) {
+	m := newManagerForJob(t, 50, 1, 1)
+	if _, err := NewSystem(0, NewSystemJob("j", 1, 50, 0, m)); err == nil {
+		t.Fatal("zero envelope accepted")
+	}
+	if _, err := NewSystem(400); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	m2 := newManagerForJob(t, 50, 9, 1)
+	if _, err := NewSystem(100,
+		NewSystemJob("a", 1, 80, 0, m),
+		NewSystemJob("b", 1, 80, 0, m2)); err == nil {
+		t.Fatal("floors above envelope accepted")
+	}
+	m3 := newManagerForJob(t, 50, 17, 1)
+	m4 := newManagerForJob(t, 50, 21, 1)
+	if _, err := NewSystem(400,
+		NewSystemJob("same", 1, 50, 0, m3),
+		NewSystemJob("same", 1, 50, 0, m4)); err == nil {
+		t.Fatal("duplicate job names accepted")
+	}
+}
+
+// TestSystemHighPriorityArrivalShrinksBudget reproduces §II's motivating
+// scenario end to end: a low-priority job runs alone with the whole
+// machine, then a high-priority job arrives and the system cuts the
+// low-priority job's budget; its NRM-side enforcement slows its online
+// progress.
+func TestSystemHighPriorityArrivalShrinksBudget(t *testing.T) {
+	low := newManagerForJob(t, 1200, 1, 1)
+	high := newManagerForJob(t, 300, 11, 1)
+
+	sys, err := NewSystem(260,
+		NewSystemJob("low", 1, 60, 0, low),
+		NewSystemJob("high", 4, 60, 12, high), // arrives at epoch 12
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowRes := results["low"]
+	if lowRes == nil {
+		t.Fatal("low-priority job missing from results")
+	}
+
+	// Budget: full machine before epoch 12, floor + 1/5 share after.
+	bt := lowRes.BudgetTrace.Values()
+	if len(bt) < 20 {
+		t.Fatalf("budget epochs = %d", len(bt))
+	}
+	before := stats.Mean(bt[4:10])
+	after := stats.Mean(bt[14:20])
+	if before < 250 {
+		t.Fatalf("solo budget = %v, want the whole 260 W envelope", before)
+	}
+	if after > before*0.6 {
+		t.Fatalf("budget after high-priority arrival = %v, want a deep cut from %v", after, before)
+	}
+
+	// Progress: the low-priority job's normalized progress drops.
+	mp := lowRes.MeanProgress.Values()
+	pBefore := stats.Mean(mp[4:10])
+	pAfter := stats.Mean(mp[14:20])
+	if pAfter >= pBefore*0.95 {
+		t.Fatalf("low-priority progress unchanged: %v before, %v after", pBefore, pAfter)
+	}
+	if _, ok := results["high"]; !ok {
+		t.Fatal("high-priority job missing from results")
+	}
+}
+
+func TestSystemFloorsRespected(t *testing.T) {
+	low := newManagerForJob(t, 600, 1, 1)
+	high := newManagerForJob(t, 600, 11, 1)
+	sys, err := NewSystem(300,
+		NewSystemJob("low", 1, 90, 0, low),
+		NewSystemJob("high", 9, 90, 0, high),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range sys.jobs {
+		for _, p := range j.BudgetTrace().Values() {
+			if p < 90-1e-9 {
+				t.Fatalf("job %s budget %v fell below its 90 W floor", j.Name, p)
+			}
+		}
+	}
+	// Total never exceeds the envelope.
+	lb, hb := sys.jobs[0].BudgetTrace().Values(), sys.jobs[1].BudgetTrace().Values()
+	for i := range lb {
+		if lb[i]+hb[i] > 300+1e-9 {
+			t.Fatalf("epoch %d: budgets %v + %v exceed the envelope", i, lb[i], hb[i])
+		}
+	}
+}
+
+func TestManagerStepFinishEquivalentToRun(t *testing.T) {
+	mk := func() *Manager {
+		return func() *Manager {
+			m, err := NewManager(EqualSplit{}, ConstantBudget(280),
+				newNode(t, "n0", apps.LAMMPS(apps.DefaultRanks, 150), 0, 1),
+				newNode(t, "n1", apps.LAMMPS(apps.DefaultRanks, 150), 0, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}()
+	}
+	r1, err := mk().Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := mk()
+	for {
+		done, err := m2.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	r2, err := m2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed != r2.Elapsed || r1.TotalEnergyJ != r2.TotalEnergyJ {
+		t.Fatalf("Run vs Step loop diverged: %v/%v, %v/%v",
+			r1.Elapsed, r2.Elapsed, r1.TotalEnergyJ, r2.TotalEnergyJ)
+	}
+	if _, err := m2.Finish(); err == nil {
+		t.Fatal("second Finish accepted")
+	}
+}

@@ -1,0 +1,154 @@
+// Package composite implements the paper's proposed extension for
+// Category 3 applications (§VI-3, §VIII): when a multiphysics workload
+// like URBAN has no single reliable online metric, monitor each
+// component separately and model progress as a *weighted combination of
+// the progress of individual components*, each normalized by its own
+// uncapped baseline.
+//
+// The combined metric is dimensionless:
+//
+//	composite(t) = Σ_i w_i · rate_i(t) / baseline_i,   Σ_i w_i = 1
+//
+// so 1.0 means "every component progressing at its uncapped rate" and
+// the value degrades toward 0 under throttling — directly comparable
+// across components running at timescales orders of magnitude apart.
+package composite
+
+import (
+	"fmt"
+	"time"
+
+	"progresscap/internal/engine"
+	"progresscap/internal/stats"
+	"progresscap/internal/trace"
+)
+
+// Component describes one monitored part of the composite application.
+type Component struct {
+	// Name must match the component workload's name (its progress
+	// stream identity).
+	Name string
+	// Weight is the component's relative importance; weights are
+	// normalized to sum to 1.
+	Weight float64
+	// Baseline is the component's uncapped online performance in its
+	// own metric units/s.
+	Baseline float64
+}
+
+// Metric combines component progress into one value.
+type Metric struct {
+	comps []Component
+}
+
+// NewMetric validates and normalizes the component set.
+func NewMetric(comps ...Component) (*Metric, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("composite: no components")
+	}
+	var wsum float64
+	seen := map[string]bool{}
+	for _, c := range comps {
+		if c.Name == "" {
+			return nil, fmt.Errorf("composite: unnamed component")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("composite: duplicate component %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("composite: component %q weight %v must be positive", c.Name, c.Weight)
+		}
+		if c.Baseline <= 0 {
+			return nil, fmt.Errorf("composite: component %q baseline %v must be positive", c.Name, c.Baseline)
+		}
+		wsum += c.Weight
+	}
+	norm := make([]Component, len(comps))
+	copy(norm, comps)
+	for i := range norm {
+		norm[i].Weight /= wsum
+	}
+	return &Metric{comps: norm}, nil
+}
+
+// Components returns the normalized component set.
+func (m *Metric) Components() []Component {
+	return append([]Component(nil), m.comps...)
+}
+
+// Combine evaluates the composite metric for one set of per-component
+// rates. Missing components contribute zero (they made no progress in
+// the window).
+func (m *Metric) Combine(rates map[string]float64) float64 {
+	var v float64
+	for _, c := range m.comps {
+		v += c.Weight * rates[c.Name] / c.Baseline
+	}
+	return v
+}
+
+// Series computes the composite progress over a multi-workload engine
+// result: per aggregation window, each component's rate is smoothed
+// (five-window moving average, absorbing timescale aliasing) and
+// combined. Job streams are matched to components by workload name; an
+// unmatched component is an error.
+func (m *Metric) Series(res *engine.Result) (*trace.Series, error) {
+	byName := map[string]*engine.JobResult{}
+	for _, j := range res.Jobs {
+		byName[j.Workload] = j
+	}
+	for _, c := range m.comps {
+		if byName[c.Name] == nil {
+			return nil, fmt.Errorf("composite: result has no job %q", c.Name)
+		}
+	}
+	// All jobs flush on the same window boundaries, so sample indexes
+	// align; a job that finished early simply reports zero-rate windows.
+	n := 0
+	for _, c := range m.comps {
+		if l := len(byName[c.Name].Samples); l > n {
+			n = l
+		}
+	}
+	smoothed := map[string][]float64{}
+	for _, c := range m.comps {
+		smoothed[c.Name] = stats.MovingAvg(byName[c.Name].Rates(), 5)
+	}
+	out := trace.NewSeries("progress.composite", "normalized")
+	for i := 0; i < n; i++ {
+		rates := map[string]float64{}
+		var at time.Duration
+		for _, c := range m.comps {
+			j := byName[c.Name]
+			if i < len(j.Samples) {
+				rates[c.Name] = smoothed[c.Name][i]
+				at = j.Samples[i].At
+			}
+		}
+		out.Add(at, m.Combine(rates))
+	}
+	return out, nil
+}
+
+// BaselinesFrom extracts per-component uncapped baselines from an
+// uncapped calibration run: the mean of each job's steady windows
+// (skipping the first window and the final partial one).
+func BaselinesFrom(res *engine.Result) map[string]float64 {
+	out := map[string]float64{}
+	for _, j := range res.Jobs {
+		rates := j.Rates()
+		if len(rates) > 3 {
+			rates = rates[1 : len(rates)-1]
+		}
+		// Drop empty-window zeros: they are reporting artifacts.
+		var nz []float64
+		for _, r := range rates {
+			if r > 0 {
+				nz = append(nz, r)
+			}
+		}
+		out[j.Workload] = stats.Mean(nz)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package composite
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/engine"
+	"progresscap/internal/policy"
+	"progresscap/internal/stats"
+)
+
+func TestNewMetricValidation(t *testing.T) {
+	if _, err := NewMetric(); err == nil {
+		t.Fatal("empty metric accepted")
+	}
+	bad := []Component{
+		{Name: "", Weight: 1, Baseline: 1},
+		{Name: "a", Weight: 0, Baseline: 1},
+		{Name: "a", Weight: 1, Baseline: 0},
+	}
+	for i, c := range bad {
+		if _, err := NewMetric(c); err == nil {
+			t.Errorf("bad component %d accepted", i)
+		}
+	}
+	if _, err := NewMetric(
+		Component{Name: "a", Weight: 1, Baseline: 1},
+		Component{Name: "a", Weight: 1, Baseline: 1},
+	); err == nil {
+		t.Fatal("duplicate component accepted")
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	m, err := NewMetric(
+		Component{Name: "a", Weight: 3, Baseline: 10},
+		Component{Name: "b", Weight: 1, Baseline: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := m.Components()
+	if comps[0].Weight != 0.75 || comps[1].Weight != 0.25 {
+		t.Fatalf("normalized weights = %v, %v", comps[0].Weight, comps[1].Weight)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	m, _ := NewMetric(
+		Component{Name: "a", Weight: 1, Baseline: 10},
+		Component{Name: "b", Weight: 1, Baseline: 2},
+	)
+	// Both at baseline → 1.0.
+	if got := m.Combine(map[string]float64{"a": 10, "b": 2}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("at-baseline composite = %v", got)
+	}
+	// One at half speed → 0.75.
+	if got := m.Combine(map[string]float64{"a": 5, "b": 2}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("half-speed composite = %v", got)
+	}
+	// Missing component contributes zero.
+	if got := m.Combine(map[string]float64{"a": 10}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("missing-component composite = %v", got)
+	}
+}
+
+// runURBAN executes the coupled Nek5000+EnergyPlus node.
+func runURBAN(t *testing.T, scheme policy.Scheme, seconds float64) *engine.Result {
+	t.Helper()
+	nek, eplus := apps.URBANComponents(seconds)
+	e, err := engine.NewMulti(engine.DefaultConfig(), nek, eplus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme != nil {
+		if err := e.SetScheme(scheme); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Run(time.Duration(seconds*6) * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBaselinesFromURBAN(t *testing.T) {
+	res := runURBAN(t, nil, 20)
+	base := BaselinesFrom(res)
+	if base["nek5000"] < 4 || base["nek5000"] > 12 {
+		t.Fatalf("nek5000 baseline = %v, want ~8", base["nek5000"])
+	}
+	if base["energyplus"] < 1 || base["energyplus"] > 2.6 {
+		t.Fatalf("energyplus baseline = %v, want ~1.7", base["energyplus"])
+	}
+}
+
+func TestCompositeNearOneUncapped(t *testing.T) {
+	calib := runURBAN(t, nil, 20)
+	base := BaselinesFrom(calib)
+	m, err := NewMetric(
+		Component{Name: "nek5000", Weight: 2, Baseline: base["nek5000"]},
+		Component{Name: "energyplus", Weight: 1, Baseline: base["energyplus"]},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := m.Series(calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior windows should hover near 1.0.
+	vals := series.Values()
+	if len(vals) < 8 {
+		t.Fatalf("only %d composite windows", len(vals))
+	}
+	mid := stats.Mean(vals[2 : len(vals)-2])
+	if math.Abs(mid-1) > 0.15 {
+		t.Fatalf("uncapped composite = %v, want ~1.0", mid)
+	}
+}
+
+func TestCompositeFollowsCap(t *testing.T) {
+	calib := runURBAN(t, nil, 20)
+	base := BaselinesFrom(calib)
+	m, err := NewMetric(
+		Component{Name: "nek5000", Weight: 2, Baseline: base["nek5000"]},
+		Component{Name: "energyplus", Weight: 1, Baseline: base["energyplus"]},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scheme := policy.Step{HighW: policy.Uncapped, LowW: 85, HighFor: 10 * time.Second, LowFor: 10 * time.Second}
+	res := runURBAN(t, scheme, 40)
+	series, err := m.Series(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split composite values by cap state and compare.
+	var capped, uncapped []float64
+	for _, p := range series.Points() {
+		capW, ok := res.CapTrace.ValueAt(p.T - time.Millisecond)
+		if !ok {
+			continue
+		}
+		prev, _ := res.CapTrace.ValueAt(p.T - 2100*time.Millisecond)
+		if prev != capW {
+			continue // transition windows (smoothing spreads them)
+		}
+		if capW == policy.Uncapped {
+			uncapped = append(uncapped, p.V)
+		} else {
+			capped = append(capped, p.V)
+		}
+	}
+	if len(capped) < 4 || len(uncapped) < 4 {
+		t.Fatalf("not enough windows: %d capped, %d uncapped", len(capped), len(uncapped))
+	}
+	hi, lo := stats.Mean(uncapped), stats.Mean(capped)
+	if lo >= hi*0.92 {
+		t.Fatalf("composite did not follow the cap: uncapped %v, capped %v", hi, lo)
+	}
+}
+
+func TestSeriesUnknownComponent(t *testing.T) {
+	res := runURBAN(t, nil, 8)
+	m, _ := NewMetric(Component{Name: "nosuch", Weight: 1, Baseline: 1})
+	if _, err := m.Series(res); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package counters is the PAPI substitute: per-core hardware event
+// counters maintained by the simulation and read through a PAPI-like
+// event-set interface. The paper uses PAPI_TOT_INS and PAPI_L3_TCM to
+// compute the MPO (misses per operation) metric, and total instructions
+// over time for MIPS (Table I, Table VI).
+package counters
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event identifies a hardware counter event.
+type Event int
+
+// Supported events, named after their PAPI presets.
+const (
+	TotIns   Event = iota // PAPI_TOT_INS: instructions completed
+	TotCyc                // PAPI_TOT_CYC: total cycles
+	L3TCM                 // PAPI_L3_TCM: L3 total cache misses
+	RefCyc                // PAPI_REF_CYC: reference (fixed-frequency) cycles
+	StallCyc              // stall cycles (memory-bound time proxy)
+	numEvents
+)
+
+// String returns the PAPI-style name of the event.
+func (e Event) String() string {
+	switch e {
+	case TotIns:
+		return "PAPI_TOT_INS"
+	case TotCyc:
+		return "PAPI_TOT_CYC"
+	case L3TCM:
+		return "PAPI_L3_TCM"
+	case RefCyc:
+		return "PAPI_REF_CYC"
+	case StallCyc:
+		return "PAPI_STALL_CYC"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// Bank holds the counters for one node: numEvents counters per core.
+// The simulation engine increments them; readers snapshot them through
+// EventSets. Bank is safe for concurrent use.
+type Bank struct {
+	mu    sync.Mutex
+	cores int
+	vals  [][]uint64 // [core][event]
+}
+
+// NewBank returns a zeroed counter bank for the given core count.
+func NewBank(cores int) *Bank {
+	if cores <= 0 {
+		panic("counters: bank needs at least one core")
+	}
+	vals := make([][]uint64, cores)
+	for i := range vals {
+		vals[i] = make([]uint64, numEvents)
+	}
+	return &Bank{cores: cores, vals: vals}
+}
+
+// Cores returns the number of cores the bank covers.
+func (b *Bank) Cores() int { return b.cores }
+
+// Add increments an event counter on a core.
+func (b *Bank) Add(core int, e Event, delta uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.vals[core][e] += delta
+}
+
+// Read returns the current value of an event counter on a core.
+func (b *Bank) Read(core int, e Event) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.vals[core][e]
+}
+
+// Total returns the event count summed over all cores.
+func (b *Bank) Total(e Event) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var sum uint64
+	for c := 0; c < b.cores; c++ {
+		sum += b.vals[c][e]
+	}
+	return sum
+}
+
+// Snapshot returns a copy of every counter, indexed [core][event].
+func (b *Bank) Snapshot() [][]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([][]uint64, b.cores)
+	for c := range out {
+		out[c] = append([]uint64(nil), b.vals[c]...)
+	}
+	return out
+}
+
+// EventSet is the PAPI-style reading interface: it remembers the counter
+// values at Start and yields deltas at Stop/Read, aggregated over all
+// cores.
+type EventSet struct {
+	bank   *Bank
+	events []Event
+	start  map[Event]uint64
+	began  time.Duration
+}
+
+// NewEventSet creates an event set over the given events.
+func NewEventSet(bank *Bank, events ...Event) *EventSet {
+	if len(events) == 0 {
+		panic("counters: empty event set")
+	}
+	return &EventSet{bank: bank, events: append([]Event(nil), events...)}
+}
+
+// Start latches the current counter values at virtual time now.
+func (s *EventSet) Start(now time.Duration) {
+	s.start = make(map[Event]uint64, len(s.events))
+	for _, e := range s.events {
+		s.start[e] = s.bank.Total(e)
+	}
+	s.began = now
+}
+
+// Reading is the result of a counter interval.
+type Reading struct {
+	Deltas  map[Event]uint64
+	Elapsed time.Duration
+}
+
+// Stop returns the deltas accumulated since Start. Calling Stop before
+// Start panics.
+func (s *EventSet) Stop(now time.Duration) Reading {
+	if s.start == nil {
+		panic("counters: EventSet.Stop before Start")
+	}
+	r := Reading{Deltas: make(map[Event]uint64, len(s.events)), Elapsed: now - s.began}
+	for _, e := range s.events {
+		r.Deltas[e] = s.bank.Total(e) - s.start[e]
+	}
+	return r
+}
+
+// MIPS returns million instructions per second over the reading interval.
+func (r Reading) MIPS() float64 {
+	sec := r.Elapsed.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(r.Deltas[TotIns]) / 1e6 / sec
+}
+
+// IPC returns instructions per cycle over the reading interval.
+func (r Reading) IPC() float64 {
+	cyc := r.Deltas[TotCyc]
+	if cyc == 0 {
+		return 0
+	}
+	return float64(r.Deltas[TotIns]) / float64(cyc)
+}
+
+// MPO returns misses per operation: L3 total cache misses divided by
+// instructions completed (Table VI). Zero instructions yields 0.
+func (r Reading) MPO() float64 {
+	ins := r.Deltas[TotIns]
+	if ins == 0 {
+		return 0
+	}
+	return float64(r.Deltas[L3TCM]) / float64(ins)
+}

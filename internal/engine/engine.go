@@ -1,0 +1,593 @@
+// Package engine runs the co-simulation: one or more workloads executing
+// on the simulated node, the RAPL controller enforcing whatever cap the
+// policy daemon programs, and the progress pipeline (reporter → pub/sub →
+// monitor) aggregating online performance once per second — the complete
+// setup of the paper's experiments (§IV-B, §V).
+//
+// Time is virtual and advances in fixed ticks (default 100 µs). Each
+// tick: the workloads consume compute/memory/sleep at the current
+// operating point, the power meter integrates the resulting draw, and
+// completed iterations are published as progress reports. Every RAPL
+// control period the controller re-actuates; every policy interval the
+// daemon re-evaluates its capping scheme; every aggregation window the
+// monitors flush progress samples and the engine records its traces.
+//
+// A single engine can host several workloads on disjoint core ranges
+// (the URBAN-style composite setup) and can be advanced incrementally
+// with Advance — which is how the cluster-level power manager interleaves
+// many nodes under one job budget.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"progresscap/internal/counters"
+	"progresscap/internal/cpu"
+	"progresscap/internal/msr"
+	"progresscap/internal/policy"
+	"progresscap/internal/power"
+	"progresscap/internal/progress"
+	"progresscap/internal/pubsub"
+	"progresscap/internal/rapl"
+	"progresscap/internal/simtime"
+	"progresscap/internal/trace"
+	"progresscap/internal/workload"
+)
+
+// Config assembles the simulated node.
+type Config struct {
+	CPU    cpu.Config
+	Power  power.Model
+	RAPL   rapl.Options
+	Tick   time.Duration // simulation step; default 100 µs
+	Window time.Duration // progress aggregation window; default 1 s
+	Seed   uint64
+}
+
+// DefaultConfig returns the paper's node: 24 cores, default power model,
+// 1 ms RAPL control, 1 s aggregation.
+func DefaultConfig() Config {
+	return Config{
+		CPU:    cpu.DefaultConfig(),
+		Power:  power.DefaultModel(),
+		RAPL:   rapl.DefaultOptions(),
+		Tick:   100 * time.Microsecond,
+		Window: time.Second,
+		Seed:   1,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Tick == 0 {
+		c.Tick = 100 * time.Microsecond
+	}
+	if c.Window == 0 {
+		c.Window = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+func (c Config) validate() error {
+	if c.Tick <= 0 || c.Window <= 0 {
+		return fmt.Errorf("engine: non-positive tick/window")
+	}
+	if c.Tick > c.RAPL.ControlPeriod {
+		return fmt.Errorf("engine: tick %v exceeds RAPL control period %v", c.Tick, c.RAPL.ControlPeriod)
+	}
+	if c.RAPL.ControlPeriod > c.Window {
+		return fmt.Errorf("engine: RAPL period %v exceeds aggregation window %v", c.RAPL.ControlPeriod, c.Window)
+	}
+	return nil
+}
+
+// JobResult is the per-workload outcome of a run.
+type JobResult struct {
+	Workload  string
+	Metric    string
+	Completed bool
+	Samples   []progress.Sample
+	RateTrace *trace.Series
+	WorkUnits float64
+	// RankLoads is each rank's cumulative work/spin/sleep accounting
+	// (the per-processing-element progress view).
+	RankLoads []workload.RankLoad
+}
+
+// Imbalance returns the job's mean barrier-spin share of busy time.
+func (j *JobResult) Imbalance() float64 {
+	return workload.ImbalanceIndex(j.RankLoads)
+}
+
+// MeanRate returns the mean per-window online performance of this job.
+func (j *JobResult) MeanRate() float64 {
+	if len(j.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range j.Samples {
+		sum += s.Rate
+	}
+	return sum / float64(len(j.Samples))
+}
+
+// Rates returns the per-window rates of this job.
+func (j *JobResult) Rates() []float64 {
+	out := make([]float64, len(j.Samples))
+	for i, s := range j.Samples {
+		out[i] = s.Rate
+	}
+	return out
+}
+
+// Result is everything an experiment needs from one run. The top-level
+// progress fields describe the engine's first (primary) workload; Jobs
+// holds every workload's stream for composite setups.
+type Result struct {
+	Workload  string
+	Elapsed   time.Duration
+	Completed bool // every workload ran to completion (vs hit the time limit)
+
+	// Samples are the primary workload's per-window observations.
+	Samples []progress.Sample
+
+	// Per-window node traces.
+	PowerTrace *trace.Series // average package power (W)
+	CoreTrace  *trace.Series // instantaneous core-component power (W)
+	FreqTrace  *trace.Series // P-state frequency (MHz)
+	DutyTrace  *trace.Series // DDCM duty cycle
+	BWTrace    *trace.Series // uncore bandwidth grant
+	RateTrace  *trace.Series // primary online performance (metric units/s)
+	CapTrace   *trace.Series // applied cap (W; 0 = uncapped), nil without a daemon
+
+	EnergyJ     float64
+	DRAMEnergyJ float64 // the separate DRAM RAPL domain
+	Counters    counters.Reading
+	Dropped     uint64 // progress reports lost in the pub/sub layer
+
+	// WorkUnits is the total application-defined work executed across
+	// all workloads (the paper's Definition 2, Table I).
+	WorkUnits float64
+
+	// Jobs holds one entry per workload, in the order given to New.
+	Jobs []*JobResult
+}
+
+// MeanRate returns the primary workload's mean per-window online
+// performance.
+func (r *Result) MeanRate() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	return r.Jobs[0].MeanRate()
+}
+
+// Rates returns the primary workload's per-window rates.
+func (r *Result) Rates() []float64 {
+	if len(r.Jobs) == 0 {
+		return nil
+	}
+	return r.Jobs[0].Rates()
+}
+
+// WindowStats is the per-aggregation-window snapshot passed to the
+// window hook.
+type WindowStats struct {
+	At      time.Duration
+	Sample  progress.Sample // primary workload's sample
+	PkgW    float64
+	FreqMHz float64
+	Duty    float64
+	BWScale float64
+	CapW    float64 // 0 when uncapped or no daemon installed
+}
+
+type job struct {
+	exec     *workload.Exec
+	reporter *progress.Reporter
+	monitor  *progress.Monitor
+	sub      *pubsub.Subscription
+	res      *JobResult
+}
+
+// Engine is one assembled simulation.
+type Engine struct {
+	cfg    Config
+	clock  *simtime.Clock
+	dev    *msr.Device
+	domain *cpu.Domain
+	uncore *cpu.Uncore
+	meter  *power.Meter
+	ctl    *rapl.Controller
+	bank   *counters.Bank
+	bus    *pubsub.Bus
+	jobs   []*job
+
+	daemon *policy.Daemon
+
+	raplTicker   *simtime.Ticker
+	windowTicker *simtime.Ticker
+	policyTicker *simtime.Ticker
+
+	events   *counters.EventSet
+	started  bool
+	finished bool
+	res      *Result
+
+	lastFlush  time.Duration
+	energyMark float64
+
+	windowHook func(WindowStats)
+}
+
+type busPublisher struct{ bus *pubsub.Bus }
+
+func (p busPublisher) PublishPayload(topic string, payload []byte) int {
+	return p.bus.Publish(pubsub.Message{Topic: topic, Payload: payload})
+}
+
+// New assembles an engine for one workload.
+func New(cfg Config, w *workload.Workload) (*Engine, error) {
+	return NewMulti(cfg, w)
+}
+
+// NewMulti assembles an engine hosting several workloads on disjoint
+// core ranges, assigned in order from core 0. The first workload is the
+// primary one reflected in Result's top-level progress fields.
+func NewMulti(cfg Config, ws ...*workload.Workload) (*Engine, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("engine: no workloads")
+	}
+	totalRanks := 0
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		totalRanks += w.Ranks
+	}
+	if totalRanks > cfg.CPU.Cores {
+		return nil, fmt.Errorf("engine: workloads need %d ranks but node has %d cores", totalRanks, cfg.CPU.Cores)
+	}
+	domain, err := cpu.NewDomain(cfg.CPU)
+	if err != nil {
+		return nil, err
+	}
+	dev := msr.NewDevice(cfg.CPU.Cores, nil)
+	uncore := cpu.NewUncore()
+	meter := power.NewMeter(cfg.Power, 0.010) // 10 ms RAPL averaging window
+	ctl, err := rapl.New(dev, domain, uncore, cfg.Power, meter, cfg.RAPL)
+	if err != nil {
+		return nil, err
+	}
+	bank := counters.NewBank(cfg.CPU.Cores)
+	bus := pubsub.NewBus()
+
+	e := &Engine{
+		cfg:    cfg,
+		clock:  simtime.NewClock(0),
+		dev:    dev,
+		domain: domain,
+		uncore: uncore,
+		meter:  meter,
+		ctl:    ctl,
+		bank:   bank,
+		bus:    bus,
+		events: counters.NewEventSet(bank, counters.TotIns, counters.TotCyc, counters.L3TCM, counters.StallCyc),
+	}
+	offset := 0
+	for i, w := range ws {
+		exec, err := workload.NewExecOffset(w, bank, cfg.Seed+uint64(i)*7919, offset)
+		if err != nil {
+			return nil, err
+		}
+		offset += w.Ranks
+		e.jobs = append(e.jobs, &job{
+			exec:     exec,
+			reporter: progress.NewReporter(w.Name, busPublisher{bus}),
+			monitor:  progress.NewMonitor(cfg.Window),
+			sub:      bus.Subscribe(progress.Topic(w.Name), 1024),
+			res: &JobResult{
+				Workload:  w.Name,
+				Metric:    w.Metric,
+				RateTrace: trace.NewSeries("progress.rate."+w.Name, w.Metric),
+			},
+		})
+	}
+	e.raplTicker = simtime.NewTicker(0, cfg.RAPL.ControlPeriod)
+	e.windowTicker = simtime.NewTicker(0, cfg.Window)
+	return e, nil
+}
+
+// Device exposes the MSR interface, the only control surface policy code
+// may use.
+func (e *Engine) Device() *msr.Device { return e.dev }
+
+// Clock returns the engine's virtual clock.
+func (e *Engine) Clock() *simtime.Clock { return e.clock }
+
+// Controller returns the RAPL controller (for manual-mode experiments).
+func (e *Engine) Controller() *rapl.Controller { return e.ctl }
+
+// Monitor returns the primary workload's progress monitor.
+func (e *Engine) Monitor() *progress.Monitor { return e.jobs[0].monitor }
+
+// Bus returns the engine's pub/sub broker, so external subscribers (e.g.
+// a TCP bridge) can tap the progress stream.
+func (e *Engine) Bus() *pubsub.Bus { return e.bus }
+
+// Done reports whether every workload has completed.
+func (e *Engine) Done() bool {
+	for _, j := range e.jobs {
+		if !j.exec.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// SetWindowHook registers a callback invoked after every aggregation
+// window, for live streaming of progress and telemetry. Call before the
+// first Advance.
+func (e *Engine) SetWindowHook(fn func(WindowStats)) { e.windowHook = fn }
+
+// SetScheme installs a power-policy daemon applying the scheme once per
+// second, as the paper's tool does. Call before the first Advance.
+func (e *Engine) SetScheme(s policy.Scheme) error {
+	d, err := policy.NewDaemon(e.dev, s, time.Second, 10*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	e.daemon = d
+	e.policyTicker = simtime.NewTicker(0, d.Interval())
+	return nil
+}
+
+// SetManualDVFS pins the package at the given frequency and disables RAPL
+// actuation — the direct-DVFS power-limiting technique of Fig 5.
+func (e *Engine) SetManualDVFS(mhz float64) {
+	e.ctl.SetManual(true)
+	e.domain.SetTargetMHz(mhz)
+	e.domain.SetDuty(1)
+	e.uncore.SetBWScale(1)
+}
+
+// SetManualDDCM pins the package at maximum frequency with the given
+// duty cycle and disables RAPL actuation — the dynamic duty cycle
+// modulation technique (§II lists DDCM among the NRM's control knobs).
+// The duty cycle is quantized to the hardware's 1/16 steps.
+func (e *Engine) SetManualDDCM(duty float64) {
+	e.ctl.SetManual(true)
+	e.domain.SetTargetMHz(e.cfg.CPU.MaxMHz)
+	e.domain.SetDuty(float64(int(duty*16)) / 16)
+	e.uncore.SetBWScale(1)
+}
+
+// start lazily initializes run state before the first tick.
+func (e *Engine) start() error {
+	if e.started {
+		return nil
+	}
+	e.started = true
+	e.res = &Result{
+		Workload:   e.jobs[0].res.Workload,
+		PowerTrace: trace.NewSeries("power.pkg", "W"),
+		CoreTrace:  trace.NewSeries("power.core", "W"),
+		FreqTrace:  trace.NewSeries("cpu.freq", "MHz"),
+		DutyTrace:  trace.NewSeries("cpu.duty", ""),
+		BWTrace:    trace.NewSeries("uncore.bwscale", ""),
+	}
+	for _, j := range e.jobs {
+		e.res.Jobs = append(e.res.Jobs, j.res)
+	}
+	e.events.Start(0)
+	// Apply the policy once at t=0 so the first window runs under it.
+	if e.daemon != nil {
+		if err := e.daemon.Apply(0); err != nil {
+			return err
+		}
+	}
+	e.ctl.Control()
+	return nil
+}
+
+// Advance runs the simulation for up to d more virtual time, stopping
+// early when every workload completes. It reports whether the engine is
+// done. Advance may be called repeatedly; call Finish to collect the
+// result.
+func (e *Engine) Advance(d time.Duration) (bool, error) {
+	if e.finished {
+		return true, fmt.Errorf("engine: Advance after Finish")
+	}
+	if d <= 0 {
+		return e.Done(), fmt.Errorf("engine: non-positive duration %v", d)
+	}
+	if err := e.start(); err != nil {
+		return false, err
+	}
+
+	limit := e.clock.Now() + d
+	tick := e.cfg.Tick
+	cores := e.cfg.CPU.Cores
+
+	for !e.Done() && e.clock.Now() < limit {
+		now := e.clock.Now() + tick
+
+		// 1. Workloads consume the tick at the current operating point.
+		effHz := e.domain.EffectiveMHz() * 1e6
+		memFactor := e.uncore.MemTimeFactor()
+		var engaged, sleeping int
+		var actSum, bwUtil float64
+		for _, j := range e.jobs {
+			out := j.exec.Step(now, tick, effHz, memFactor)
+			engaged += out.Engaged
+			sleeping += out.Sleeping
+			actSum += out.Activity * float64(out.Engaged)
+			bwUtil += out.BWUtil
+			// 2. Publish completed iterations as progress reports.
+			for _, ev := range out.Completions {
+				j.reporter.Publish(ev.Phase, ev.Progress, ev.At)
+				j.res.WorkUnits += ev.WorkUnits
+				e.res.WorkUnits += ev.WorkUnits
+			}
+		}
+		activity := 0.0
+		if engaged > 0 {
+			activity = actSum / float64(engaged)
+		}
+		if bwUtil > 1 {
+			bwUtil = 1
+		}
+
+		// 3. Power integration and controller observation.
+		state := power.NodeState{
+			EngagedCores: engaged,
+			IdleCores:    cores - engaged,
+			FreqMHz:      e.domain.CurrentMHz(),
+			Duty:         e.domain.Duty(),
+			Activity:     activity,
+			BWUtil:       bwUtil,
+			BWScale:      e.uncore.BWScale(),
+		}
+		e.ctl.Observe(state, tick)
+
+		e.clock.AdvanceTo(now)
+
+		// 4. RAPL control loop.
+		for e.raplTicker.FiredAt(now) {
+			e.ctl.Control()
+		}
+
+		// 5. Policy daemon (1 Hz).
+		if e.policyTicker != nil {
+			for e.policyTicker.FiredAt(now) {
+				if err := e.daemon.Apply(now); err != nil {
+					return false, err
+				}
+			}
+		}
+
+		// 6. Progress aggregation + trace recording.
+		for e.windowTicker.FiredAt(now) {
+			e.flushWindow(now)
+		}
+	}
+	return e.Done(), nil
+}
+
+// Finish closes out the run and returns the collected result. The engine
+// cannot be advanced afterwards.
+func (e *Engine) Finish() (*Result, error) {
+	if e.finished {
+		return nil, fmt.Errorf("engine: Finish called twice")
+	}
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	e.finished = true
+
+	// Close out the final window, unless it is too short to carry a
+	// meaningful rate (a few milliseconds holding one report would show
+	// up as an enormous outlier).
+	end := e.clock.Now()
+	if end-e.lastFlush >= e.cfg.Window/2 {
+		e.flushWindow(end)
+	}
+
+	e.res.Elapsed = end
+	e.res.Completed = e.Done()
+	for _, j := range e.jobs {
+		j.res.Completed = j.exec.Done()
+		j.res.RankLoads = j.exec.RankLoads()
+	}
+	e.res.Samples = e.jobs[0].res.Samples
+	e.res.RateTrace = e.jobs[0].res.RateTrace
+	e.res.EnergyJ = e.meter.EnergyJ()
+	e.res.DRAMEnergyJ = e.meter.DRAMEnergyJ()
+	e.res.Counters = e.events.Stop(end)
+	_, e.res.Dropped = e.bus.Stats()
+	if e.daemon != nil {
+		e.res.CapTrace = e.daemon.CapTrace()
+	}
+	return e.res, nil
+}
+
+// Run advances the simulation until every workload completes or maxDur
+// of virtual time elapses, then returns the result. It is the one-shot
+// form of Advance + Finish.
+func (e *Engine) Run(maxDur time.Duration) (*Result, error) {
+	if e.started {
+		return nil, fmt.Errorf("engine: Run after a prior Run/Advance")
+	}
+	if maxDur <= 0 {
+		return nil, fmt.Errorf("engine: non-positive duration %v", maxDur)
+	}
+	if _, err := e.Advance(maxDur); err != nil {
+		return nil, err
+	}
+	return e.Finish()
+}
+
+// flushWindow drains pending progress reports into each job's monitor
+// and records one point on every trace. A zero-length window (e.g. the
+// workload finished exactly on a window boundary) is skipped.
+func (e *Engine) flushWindow(now time.Duration) {
+	winSec := (now - e.lastFlush).Seconds()
+	if winSec <= 0 {
+		return
+	}
+	var primary progress.Sample
+	for i, j := range e.jobs {
+		for {
+			m, ok := j.sub.TryRecv()
+			if !ok {
+				break
+			}
+			rep, err := progress.UnmarshalReport(m.Payload)
+			if err != nil {
+				// A malformed report indicates an engine bug, not user error.
+				panic(fmt.Sprintf("engine: bad progress payload: %v", err))
+			}
+			j.monitor.Offer(rep)
+		}
+		s := j.monitor.Flush(now)
+		j.res.Samples = append(j.res.Samples, s)
+		j.res.RateTrace.Add(now, s.Rate)
+		if i == 0 {
+			primary = s
+		}
+	}
+
+	// Window-average power from the energy integral.
+	eNow := e.meter.EnergyJ()
+	e.res.PowerTrace.Add(now, (eNow-e.energyMark)/winSec)
+	e.energyMark = eNow
+	e.lastFlush = now
+
+	e.res.CoreTrace.Add(now, e.meter.Last().CoreW)
+	e.res.FreqTrace.Add(now, e.domain.CurrentMHz())
+	e.res.DutyTrace.Add(now, e.domain.Duty())
+	e.res.BWTrace.Add(now, e.uncore.BWScale())
+
+	if e.windowHook != nil {
+		ws := WindowStats{
+			At:      now,
+			Sample:  primary,
+			PkgW:    e.res.PowerTrace.At(e.res.PowerTrace.Len() - 1).V,
+			FreqMHz: e.domain.CurrentMHz(),
+			Duty:    e.domain.Duty(),
+			BWScale: e.uncore.BWScale(),
+		}
+		if e.daemon != nil {
+			if v, ok := e.daemon.CapTrace().ValueAt(now); ok {
+				ws.CapW = v
+			}
+		}
+		e.windowHook(ws)
+	}
+}

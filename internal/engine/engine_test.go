@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/policy"
+	"progresscap/internal/progress"
+	"progresscap/internal/stats"
+	"progresscap/internal/workload"
+)
+
+func mustRun(t *testing.T, w *workload.Workload, scheme policy.Scheme, maxDur time.Duration) *Result {
+	t.Helper()
+	e, err := New(DefaultConfig(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme != nil {
+		if err := e.SetScheme(scheme); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Run(maxDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLAMMPSUncappedSteadyProgress(t *testing.T) {
+	res := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 300), nil, time.Minute)
+	if !res.Completed {
+		t.Fatal("LAMMPS did not complete")
+	}
+	// ~300 steps at ~20/s → ~15 s, ~800k atom-steps/s.
+	if res.Elapsed < 13*time.Second || res.Elapsed > 18*time.Second {
+		t.Fatalf("elapsed = %v, want ~15 s", res.Elapsed)
+	}
+	rate := res.MeanRate()
+	if rate < 700000 || rate > 900000 {
+		t.Fatalf("mean rate = %v atom-steps/s, want ~800k", rate)
+	}
+	// Fig 1 (left): steady online performance.
+	if got := progress.Classify(res.Rates()); got != progress.Steady {
+		t.Fatalf("LAMMPS classified %v, want steady (rates %v)", got, res.Rates())
+	}
+}
+
+func TestAMGUncappedFluctuates(t *testing.T) {
+	res := mustRun(t, apps.AMG(apps.DefaultRanks, 80), nil, time.Minute)
+	if !res.Completed {
+		t.Fatal("AMG did not complete")
+	}
+	rate := res.MeanRate()
+	if rate < 2.2 || rate > 3.3 {
+		t.Fatalf("AMG mean rate = %v it/s, want 2.5-3", rate)
+	}
+	// Fig 1 (center): inconsistent, needs averaging.
+	if got := progress.Classify(res.Rates()); got == progress.Phased {
+		t.Fatalf("AMG classified %v", got)
+	}
+	if cv := stats.CoefVar(res.Rates()); cv < 0.03 {
+		t.Fatalf("AMG rate CV = %v, expected visible fluctuation", cv)
+	}
+}
+
+func TestQMCPACKPhasesVisibleInProgress(t *testing.T) {
+	// ~10 s per phase at 8/12/16 blocks/s.
+	res := mustRun(t, apps.QMCPACK(apps.DefaultRanks, 80, 120, 160), nil, time.Minute)
+	if !res.Completed {
+		t.Fatal("QMCPACK did not complete")
+	}
+	// Fig 1 (right): the three phases compute blocks at different rates.
+	if got := progress.Classify(res.Rates()); got != progress.Phased {
+		t.Fatalf("QMCPACK classified %v, want phased (rates %v)", got, res.Rates())
+	}
+}
+
+func TestOpenMCOccasionalZeroReports(t *testing.T) {
+	res := mustRun(t, apps.OpenMC(apps.DefaultRanks, 5, 40, 100000), nil, 2*time.Minute)
+	if !res.Completed {
+		t.Fatal("OpenMC did not complete")
+	}
+	zeros, nonzeros := 0, 0
+	for _, s := range res.Samples {
+		if s.Rate == 0 {
+			zeros++
+		} else {
+			nonzeros++
+		}
+	}
+	// ~1.05 s batches vs 1 s windows: some windows must be empty, but
+	// most must carry data.
+	if zeros == 0 {
+		t.Fatal("expected occasional zero-progress windows (aliasing artifact)")
+	}
+	if nonzeros < zeros {
+		t.Fatalf("too many empty windows: %d zero vs %d nonzero", zeros, nonzeros)
+	}
+}
+
+func TestStepCapProgressFollowsCap(t *testing.T) {
+	// Fig 3: the online performance follows the power capping function.
+	scheme := policy.Step{HighW: policy.Uncapped, LowW: 90, HighFor: 10 * time.Second, LowFor: 10 * time.Second}
+	res := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 900), scheme, 2*time.Minute)
+
+	var highRates, lowRates []float64
+	for _, s := range res.Samples {
+		capW, ok := res.CapTrace.ValueAt(s.At - time.Millisecond)
+		if !ok {
+			continue
+		}
+		// Skip the window right after each transition (mixed regime).
+		prev, _ := res.CapTrace.ValueAt(s.At - 1100*time.Millisecond)
+		if prev != capW {
+			continue
+		}
+		if capW == policy.Uncapped {
+			highRates = append(highRates, s.Rate)
+		} else {
+			lowRates = append(lowRates, s.Rate)
+		}
+	}
+	if len(highRates) < 5 || len(lowRates) < 5 {
+		t.Fatalf("not enough windows: %d high, %d low", len(highRates), len(lowRates))
+	}
+	hi, lo := stats.Mean(highRates), stats.Mean(lowRates)
+	if lo >= hi*0.9 {
+		t.Fatalf("capped progress %v not clearly below uncapped %v", lo, hi)
+	}
+	if lo < hi*0.3 {
+		t.Fatalf("capped progress %v implausibly low vs uncapped %v", lo, hi)
+	}
+}
+
+func TestLinearCapProgressDecreases(t *testing.T) {
+	scheme := policy.Linear{Delay: 3 * time.Second, StartW: 170, MinW: 70, RateWPerSec: 5}
+	res := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 900), scheme, time.Minute)
+	rates := res.Rates()
+	if len(rates) < 20 {
+		t.Fatalf("only %d windows", len(rates))
+	}
+	early := stats.Mean(rates[1:4])
+	late := stats.Mean(rates[len(rates)-4 : len(rates)-1])
+	if late >= early*0.85 {
+		t.Fatalf("progress did not decrease under linear cap: early %v, late %v", early, late)
+	}
+}
+
+func TestJaggedCapProgressRecovers(t *testing.T) {
+	scheme := policy.Jagged{StartW: 170, LowW: 80, FallFor: 8 * time.Second, UncappedFor: 4 * time.Second}
+	res := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 900), scheme, time.Minute)
+	rates := res.Rates()
+	// Progress must dip and recover: max over later windows close to the
+	// early uncapped rate.
+	if len(rates) < 24 {
+		t.Fatalf("only %d windows", len(rates))
+	}
+	early := stats.Mean(rates[1:4])
+	laterMax := 0.0
+	for _, r := range rates[12:] {
+		if r > laterMax {
+			laterMax = r
+		}
+	}
+	if laterMax < early*0.9 {
+		t.Fatalf("progress never recovered in jagged scheme: early %v, later max %v", early, laterMax)
+	}
+	mn := stats.Summarize(rates[2:]).Min
+	if mn > early*0.85 {
+		t.Fatalf("progress never dipped in jagged scheme: early %v, min %v", early, mn)
+	}
+}
+
+func TestPowerTraceRespectsCap(t *testing.T) {
+	scheme := policy.Constant{Watts: 110}
+	res := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 600), scheme, time.Minute)
+	// Skip the first window (transient), then package power ≈ cap.
+	for i := 1; i < res.PowerTrace.Len()-1; i++ {
+		p := res.PowerTrace.At(i).V
+		if p > 110*1.05 {
+			t.Fatalf("window %d: power %v W above cap", i, p)
+		}
+		if p < 110*0.85 {
+			t.Fatalf("window %d: power %v W far below cap (RAPL should use the full budget)", i, p)
+		}
+	}
+}
+
+func TestFrequencyHigherForComputeBoundUnderSameCap(t *testing.T) {
+	// Fig 2 at engine level.
+	const capW = 110
+	resC := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 400), policy.Constant{Watts: capW}, time.Minute)
+	resM := mustRun(t, apps.STREAM(apps.DefaultRanks, 320), policy.Constant{Watts: capW}, time.Minute)
+	fC := stats.Mean(resC.FreqTrace.Values()[2:])
+	fM := stats.Mean(resM.FreqTrace.Values()[2:])
+	if fC <= fM {
+		t.Fatalf("compute-bound freq %v MHz not above memory-bound %v MHz", fC, fM)
+	}
+}
+
+func TestManualDVFSHoldsFrequency(t *testing.T) {
+	e, err := New(DefaultConfig(), apps.STREAM(apps.DefaultRanks, 160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetManualDVFS(1600)
+	res, err := e.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.FreqTrace.Points() {
+		if p.V != 1600 {
+			t.Fatalf("window %d: frequency %v, want 1600", i, p.V)
+		}
+	}
+}
+
+func TestTableICorrelation(t *testing.T) {
+	// Table I: equal vs unequal work — same iterations/s, roughly halved
+	// work units, wildly different MIPS.
+	resEq := mustRun(t, apps.ImbalanceSample(24, 5, true, 1.0), nil, time.Minute)
+	resUn := mustRun(t, apps.ImbalanceSample(24, 5, false, 1.0), nil, time.Minute)
+	if !resEq.Completed || !resUn.Completed {
+		t.Fatal("imbalance samples did not complete")
+	}
+
+	itEq := 5 / resEq.Elapsed.Seconds()
+	itUn := 5 / resUn.Elapsed.Seconds()
+	if math.Abs(itEq-itUn)/itEq > 0.02 {
+		t.Fatalf("iterations/s differ: equal %v, unequal %v", itEq, itUn)
+	}
+	if math.Abs(itEq-1) > 0.05 {
+		t.Fatalf("iterations/s = %v, want ~1", itEq)
+	}
+
+	// Definition 2: equal = 24 × 1M units per iteration, unequal =
+	// Σ(r+1)/24 × 1M = 12.5M, so the ratio is 1.92.
+	if resEq.WorkUnits <= 0 || resUn.WorkUnits <= 0 {
+		t.Fatal("work units not accounted")
+	}
+	ratio := resEq.WorkUnits / resUn.WorkUnits
+	if math.Abs(ratio-1.92) > 0.05 {
+		t.Fatalf("work unit ratio = %v, want ~1.92", ratio)
+	}
+
+	mipsEq := resEq.Counters.MIPS()
+	mipsUn := resUn.Counters.MIPS()
+	if mipsUn < 5*mipsEq {
+		t.Fatalf("unequal MIPS %v not far above equal MIPS %v (barrier spin missing?)", mipsUn, mipsEq)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	w := apps.LAMMPS(48, 10) // more ranks than cores
+	if _, err := New(DefaultConfig(), w); err == nil {
+		t.Fatal("oversubscribed workload accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Tick = 10 * time.Millisecond // tick > RAPL period
+	if _, err := New(cfg, apps.LAMMPS(24, 10)); err == nil {
+		t.Fatal("tick > control period accepted")
+	}
+}
+
+func TestEngineRunTwiceFails(t *testing.T) {
+	e, err := New(DefaultConfig(), apps.ImbalanceSample(4, 1, true, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(time.Minute); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestEngineTimeLimit(t *testing.T) {
+	res := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 100000), nil, 3*time.Second)
+	if res.Completed {
+		t.Fatal("run should have hit the time limit")
+	}
+	if res.Elapsed > 3*time.Second+100*time.Millisecond {
+		t.Fatalf("elapsed %v exceeds limit", res.Elapsed)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() *Result {
+		return mustRun(t, apps.AMG(apps.DefaultRanks, 20), policy.Constant{Watts: 120}, time.Minute)
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed || a.EnergyJ != b.EnergyJ || len(a.Samples) != len(b.Samples) {
+		t.Fatalf("runs diverged: %v/%v, %v/%v", a.Elapsed, b.Elapsed, a.EnergyJ, b.EnergyJ)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d diverged", i)
+		}
+	}
+}
+
+func TestEnergyConsistentWithPowerTrace(t *testing.T) {
+	res := mustRun(t, apps.LAMMPS(apps.DefaultRanks, 200), nil, time.Minute)
+	// Energy ≈ mean power × elapsed.
+	var weighted float64
+	prev := time.Duration(0)
+	for _, p := range res.PowerTrace.Points() {
+		weighted += p.V * (p.T - prev).Seconds()
+		prev = p.T
+	}
+	if math.Abs(weighted-res.EnergyJ)/res.EnergyJ > 0.02 {
+		t.Fatalf("trace-integrated energy %v vs meter %v", weighted, res.EnergyJ)
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/policy"
+)
+
+func TestAllTracesPopulatedAndAligned(t *testing.T) {
+	res := mustRun(t, apps.STREAM(apps.DefaultRanks, 96), policy.Constant{Watts: 90}, time.Minute)
+	n := res.PowerTrace.Len()
+	if n < 4 {
+		t.Fatalf("only %d windows", n)
+	}
+	for name, tr := range map[string]int{
+		"core": res.CoreTrace.Len(),
+		"freq": res.FreqTrace.Len(),
+		"duty": res.DutyTrace.Len(),
+		"bw":   res.BWTrace.Len(),
+		"rate": res.RateTrace.Len(),
+	} {
+		if tr != n {
+			t.Fatalf("%s trace has %d points, power has %d", name, tr, n)
+		}
+	}
+	// Under a stringent memory-bound cap, the bandwidth grant trace must
+	// show throttling, and core power must stay below package power.
+	sawThrottle := false
+	for i := 2; i < n; i++ {
+		if res.BWTrace.At(i).V < 1 {
+			sawThrottle = true
+		}
+		if res.CoreTrace.At(i).V > res.PowerTrace.At(i).V {
+			t.Fatalf("window %d: core %v above package %v", i, res.CoreTrace.At(i).V, res.PowerTrace.At(i).V)
+		}
+	}
+	if !sawThrottle {
+		t.Fatal("bandwidth trace never showed throttling at 90 W on STREAM")
+	}
+}
+
+func TestWindowHookFieldsConsistent(t *testing.T) {
+	e, err := New(DefaultConfig(), apps.LAMMPS(apps.DefaultRanks, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetScheme(policy.Constant{Watts: 120}); err != nil {
+		t.Fatal(err)
+	}
+	var stats []WindowStats
+	e.SetWindowHook(func(ws WindowStats) { stats = append(stats, ws) })
+	res, err := e.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(res.Samples) {
+		t.Fatalf("hook fired %d times for %d samples", len(stats), len(res.Samples))
+	}
+	for i, ws := range stats {
+		if ws.Sample != res.Samples[i] {
+			t.Fatalf("hook %d sample mismatch", i)
+		}
+		if ws.CapW != 120 {
+			t.Fatalf("hook %d cap = %v", i, ws.CapW)
+		}
+		if ws.PkgW <= 0 || ws.FreqMHz <= 0 || ws.Duty <= 0 || ws.BWScale <= 0 {
+			t.Fatalf("hook %d has zero telemetry: %+v", i, ws)
+		}
+		if i > 0 && ws.At <= stats[i-1].At {
+			t.Fatalf("hook timestamps not increasing at %d", i)
+		}
+	}
+}

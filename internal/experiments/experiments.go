@@ -1,0 +1,191 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated node. Each entry point returns an Artifact
+// holding the rendered rows/series; cmd/experiments prints them and
+// bench_test.go exposes one benchmark per artifact.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Table1    — MIPS vs online-performance definitions (Listing 1)
+//	Tables2to4— application descriptions and interview summary
+//	Table5    — categorization and online-performance metrics
+//	Table6    — β and MPO characterization
+//	Figure1   — online-performance character (steady/fluctuating/phased)
+//	Figure2   — RAPL application-aware frequency under identical caps
+//	Figure3   — progress follows the dynamic capping function
+//	Figure4   — measured vs model-predicted change in progress
+//	Figure5   — STREAM: RAPL vs direct-DVFS power limiting
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"progresscap/internal/engine"
+	"progresscap/internal/policy"
+	"progresscap/internal/trace"
+	"progresscap/internal/workload"
+)
+
+// Options scales the experiment harness. The zero value is filled with
+// defaults tuned so the full suite runs in a couple of minutes of wall
+// time; increase RunSeconds/Reps for tighter statistics.
+type Options struct {
+	// RunSeconds is the virtual duration of one measurement run.
+	RunSeconds float64
+	// Reps is the number of repetitions averaged per power cap in
+	// Figure 4 (the paper uses five).
+	Reps int
+	// Seed is the base RNG seed; repetition k uses Seed+k.
+	Seed uint64
+}
+
+// DefaultOptions returns the standard harness scale: 12-second runs,
+// 3 repetitions.
+func DefaultOptions() Options {
+	return Options{RunSeconds: 12, Reps: 3, Seed: 1}
+}
+
+func (o *Options) fillDefaults() {
+	if o.RunSeconds == 0 {
+		o.RunSeconds = 12
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// NamedPlot pairs a file-name-friendly identifier with an SVG plot.
+type NamedPlot struct {
+	Name string
+	Plot *trace.Plot
+}
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	ID     string
+	Title  string
+	Tables []*trace.Table
+	// Notes carries free-form lines (classifications, correlations,
+	// sparklines) rendered after the tables.
+	Notes []string
+	// Figures holds SVG renderings of the artifact's series, written by
+	// cmd/experiments -svg.
+	Figures []NamedPlot
+}
+
+// addFigure appends a plot, ignoring nil (a figure is never mandatory).
+func (a *Artifact) addFigure(name string, p *trace.Plot) {
+	if p != nil {
+		a.Figures = append(a.Figures, NamedPlot{Name: name, Plot: p})
+	}
+}
+
+// Render returns the artifact as printable text.
+func (a *Artifact) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", a.ID, a.Title)
+	for _, t := range a.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range a.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// run executes one workload under a scheme (nil = uncapped) and returns
+// the result. All experiment runs share this path so they use the same
+// node configuration.
+func run(w *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) (*engine.Result, error) {
+	cfg := engine.DefaultConfig()
+	cfg.Seed = seed
+	e, err := engine.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	if scheme != nil {
+		if err := e.SetScheme(scheme); err != nil {
+			return nil, err
+		}
+	}
+	return e.Run(time.Duration(maxSeconds * float64(time.Second)))
+}
+
+// runDVFS executes one workload pinned at a frequency with RAPL manual.
+func runDVFS(w *workload.Workload, mhz float64, seed uint64, maxSeconds float64) (*engine.Result, error) {
+	cfg := engine.DefaultConfig()
+	cfg.Seed = seed
+	e, err := engine.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	e.SetManualDVFS(mhz)
+	return e.Run(time.Duration(maxSeconds * float64(time.Second)))
+}
+
+// steadyRates drops the warm-up and final windows of a run and returns
+// the remaining per-window rates (the controller needs a window or two
+// to settle after a cap change).
+func steadyRates(res *engine.Result, skip int) []float64 {
+	rates := res.Rates()
+	if len(rates) <= skip+1 {
+		return rates
+	}
+	return rates[skip : len(rates)-1]
+}
+
+// meanSteadyPower averages the per-window package power, skipping
+// warm-up and the final partial window.
+func meanSteadyPower(res *engine.Result, skip int) float64 {
+	vals := res.PowerTrace.Values()
+	if len(vals) <= skip+1 {
+		skip = 0
+	}
+	var sum float64
+	n := 0
+	for i := skip; i < len(vals)-1; i++ {
+		sum += vals[i]
+		n++
+	}
+	if n == 0 {
+		if len(vals) == 0 {
+			return 0
+		}
+		return vals[len(vals)-1]
+	}
+	return sum / float64(n)
+}
+
+// All regenerates every artifact in paper order.
+func All(opts Options) ([]*Artifact, error) {
+	type gen struct {
+		name string
+		fn   func(Options) (*Artifact, error)
+	}
+	gens := []gen{
+		{"table1", Table1},
+		{"tables2to4", func(Options) (*Artifact, error) { return Tables2to4(), nil }},
+		{"table5", func(Options) (*Artifact, error) { return Table5(), nil }},
+		{"table6", Table6},
+		{"fig1", Figure1},
+		{"fig2", Figure2},
+		{"fig3", Figure3},
+		{"fig4", Figure4},
+		{"fig5", Figure5},
+	}
+	var out []*Artifact
+	for _, g := range gens {
+		a, err := g.fn(opts)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", g.name, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtAlphaFitImprovesHeldOutError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alpha-fit sweep is expensive")
+	}
+	art, err := ExtAlphaFit(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := strings.Split(strings.TrimSpace(art.Tables[0].CSV()), "\n")[1:]
+	if len(csv) != 4 {
+		t.Fatalf("rows = %d", len(csv))
+	}
+	improved := 0
+	for _, line := range csv {
+		f := strings.Split(line, ",")
+		alpha, _ := strconv.ParseFloat(f[1], 64)
+		fixed, _ := strconv.ParseFloat(f[2], 64)
+		fitted, _ := strconv.ParseFloat(f[3], 64)
+		if alpha < 1 || alpha > 4 {
+			t.Errorf("%s: fitted α = %v outside [1,4]", f[0], alpha)
+		}
+		if fitted <= fixed {
+			improved++
+		}
+	}
+	if improved < 3 {
+		t.Errorf("fitted α improved only %d of 4 applications", improved)
+	}
+}
+
+func TestExtTechniquesShapes(t *testing.T) {
+	art, err := ExtTechniques(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Tables[0].NumRows() != 12 {
+		t.Fatalf("rows = %d", art.Tables[0].NumRows())
+	}
+	// Parse into per-app per-technique points.
+	type pt struct{ power, norm float64 }
+	points := map[string][]pt{}
+	for _, line := range strings.Split(strings.TrimSpace(art.Tables[0].CSV()), "\n")[1:] {
+		f := strings.Split(line, ",")
+		p, _ := strconv.ParseFloat(f[3], 64)
+		n, _ := strconv.ParseFloat(f[4], 64)
+		key := f[0] + "/" + f[1]
+		points[key] = append(points[key], pt{p, n})
+		if n <= 0 || n > 1.05 {
+			t.Errorf("%s %s: normalized progress %v out of range", f[0], f[2], n)
+		}
+	}
+	// Within each technique, less power → less progress.
+	for key, pts := range points {
+		if len(pts) != 2 {
+			t.Fatalf("%s: %d points", key, len(pts))
+		}
+		hi, lo := pts[0], pts[1]
+		if hi.power < lo.power {
+			hi, lo = lo, hi
+		}
+		if lo.norm >= hi.norm {
+			t.Errorf("%s: progress did not fall with power (%v@%vW vs %v@%vW)",
+				key, hi.norm, hi.power, lo.norm, lo.power)
+		}
+	}
+}
+
+func TestExtCompositeTracksCap(t *testing.T) {
+	art, err := ExtComposite(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(art.Tables[0].CSV()), "\n")[1:]
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	last := strings.Split(rows[2], ",")
+	if !strings.Contains(last[0], "composite") {
+		t.Fatalf("last row = %q", rows[2])
+	}
+	corr, _ := strconv.ParseFloat(last[2], 64)
+	if corr < 0.6 {
+		t.Fatalf("composite correlation %v too weak", corr)
+	}
+}
+
+func TestExtMethodAgreement(t *testing.T) {
+	art, err := ExtMethod(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(art.Tables[0].CSV()), "\n")[1:]
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, line := range rows {
+		f := strings.Split(line, ",")
+		dis, _ := strconv.ParseFloat(f[3], 64)
+		if dis > 15 {
+			t.Errorf("cap %s: methods disagree by %v%%", f[0], dis)
+		}
+	}
+}
+
+func TestExtEnergyShapes(t *testing.T) {
+	art, err := ExtEnergy(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(art.Tables[0].CSV()), "\n")[1:]
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Within each application, time grows monotonically as the cap
+	// tightens (rows are ordered none → 60 W).
+	for app := 0; app < 2; app++ {
+		prev := 0.0
+		for i := 0; i < 6; i++ {
+			f := strings.Split(rows[app*6+i], ",")
+			tm, _ := strconv.ParseFloat(f[2], 64)
+			if tm < prev {
+				t.Errorf("%s: time fell as cap tightened (%v after %v)", f[0], tm, prev)
+			}
+			prev = tm
+		}
+	}
+}
+
+func TestExtClusterEqualizesProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is expensive")
+	}
+	art, err := ExtCluster(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(art.Tables[0].CSV()), "\n")[1:]
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Rows come in (equal, aware) pairs per budget: aware must not lower
+	// min-progress and must shrink the spread.
+	for i := 0; i < len(rows); i += 2 {
+		eq := strings.Split(rows[i], ",")
+		aw := strings.Split(rows[i+1], ",")
+		eqMin, _ := strconv.ParseFloat(eq[2], 64)
+		awMin, _ := strconv.ParseFloat(aw[2], 64)
+		eqSpread, _ := strconv.ParseFloat(eq[4], 64)
+		awSpread, _ := strconv.ParseFloat(aw[4], 64)
+		if awMin < eqMin-0.005 {
+			t.Errorf("budget %s: aware min %v below equal %v", eq[1], awMin, eqMin)
+		}
+		if awSpread >= eqSpread {
+			t.Errorf("budget %s: aware spread %v not below equal %v", eq[1], awSpread, eqSpread)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/engine"
+	"progresscap/internal/policy"
+	"progresscap/internal/progress"
+	"progresscap/internal/stats"
+	"progresscap/internal/trace"
+	"progresscap/internal/workload"
+)
+
+// Figure1 reproduces Fig 1: characterizing online performance. LAMMPS is
+// steady, AMG fluctuates, QMCPACK shows three phased levels.
+func Figure1(opts Options) (*Artifact, error) {
+	opts.fillDefaults()
+	// Phase classification needs at least ~6 aggregation windows per
+	// QMCPACK phase, so the characterization runs are never shorter than
+	// 24 virtual seconds.
+	secs := opts.RunSeconds * 2
+	if secs < 24 {
+		secs = 24
+	}
+	cases := []struct {
+		name string
+		w    *workload.Workload
+		want progress.Behavior
+	}{
+		{"LAMMPS", apps.LAMMPS(apps.DefaultRanks, int(secs*20)), progress.Steady},
+		{"AMG", apps.AMG(apps.DefaultRanks, int(secs*2.75)), progress.Fluctuating},
+		{"QMCPACK", apps.QMCPACK(apps.DefaultRanks,
+			int(secs/3*8), int(secs/3*12), int(secs/3*16)), progress.Phased},
+	}
+	tbl := trace.NewTable("", "Application", "Metric", "Mean rate", "CV", "Behavior", "Expected")
+	var notes []string
+	art := &Artifact{
+		ID:    "fig1",
+		Title: "Characterizing online performance (uncapped)",
+	}
+	for _, c := range cases {
+		res, err := run(c.w, nil, opts.Seed, secs*2)
+		if err != nil {
+			return nil, fmt.Errorf("fig1: %s: %w", c.name, err)
+		}
+		rates := steadyRates(res, 1)
+		behavior := progress.Classify(rates)
+		tbl.AddRow(
+			c.name,
+			c.w.Metric,
+			trace.Formatted(stats.Mean(rates)),
+			fmt.Sprintf("%.3f", stats.CoefVar(rates)),
+			behavior.String(),
+			c.want.String(),
+		)
+		notes = append(notes, fmt.Sprintf("%-8s %s", c.name, trace.Sparkline(rates)))
+
+		plot := trace.NewPlot(fmt.Sprintf("Fig 1: %s online performance (%s)", c.name, behavior),
+			"time (s)", c.w.Metric)
+		if err := plot.Line(c.name, res.RateTrace.Times(), res.RateTrace.Values()); err != nil {
+			return nil, err
+		}
+		art.addFigure("fig1_"+strings.ToLower(c.name), plot)
+	}
+	art.Tables = []*trace.Table{tbl}
+	art.Notes = notes
+	return art, nil
+}
+
+// Figure2 reproduces Fig 2: RAPL performs application-aware power
+// management — under identical package caps the compute-bound LAMMPS
+// runs at a higher CPU frequency than the memory-bound STREAM.
+func Figure2(opts Options) (*Artifact, error) {
+	opts.fillDefaults()
+	caps := []float64{170, 150, 130, 110, 90}
+	tbl := trace.NewTable("", "Package cap (W)", "LAMMPS freq (MHz)", "STREAM freq (MHz)")
+	var lF, sF []float64
+	for _, capW := range caps {
+		freq := func(w *workload.Workload) (float64, error) {
+			res, err := run(w, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+			if err != nil {
+				return 0, err
+			}
+			return stats.Mean(res.FreqTrace.Values()[2:]), nil
+		}
+		fl, err := freq(apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*30)))
+		if err != nil {
+			return nil, fmt.Errorf("fig2: lammps: %w", err)
+		}
+		fs, err := freq(apps.STREAM(apps.DefaultRanks, int(opts.RunSeconds*24)))
+		if err != nil {
+			return nil, fmt.Errorf("fig2: stream: %w", err)
+		}
+		lF = append(lF, fl)
+		sF = append(sF, fs)
+		tbl.AddRow(trace.Formatted(capW), trace.Formatted(fl), trace.Formatted(fs))
+	}
+	art := &Artifact{
+		ID:     "fig2",
+		Title:  "RAPL: application-aware power management",
+		Tables: []*trace.Table{tbl},
+		Notes: []string{
+			"LAMMPS " + trace.Sparkline(lF),
+			"STREAM " + trace.Sparkline(sF),
+			"Under identical caps RAPL distributes more power to the core for the",
+			"compute-bound code, granting it a higher CPU frequency.",
+		},
+	}
+	plot := trace.NewPlot("Fig 2: CPU frequency under identical package caps",
+		"package cap (W)", "CPU frequency (MHz)")
+	if err := plot.Line("LAMMPS (compute-bound)", caps, lF); err != nil {
+		return nil, err
+	}
+	if err := plot.Line("STREAM (memory-bound)", caps, sF); err != nil {
+		return nil, err
+	}
+	art.addFigure("fig2_frequency", plot)
+	return art, nil
+}
+
+// Figure3 reproduces Fig 3: the online performance follows the
+// power-capping function for every scheme and application.
+func Figure3(opts Options) (*Artifact, error) {
+	opts.fillDefaults()
+	secs := opts.RunSeconds * 3
+	schemes := []policy.Scheme{
+		policy.Linear{Delay: 4 * time.Second, StartW: 170, MinW: 80,
+			RateWPerSec: 90 / (secs - 8)},
+		policy.Step{HighW: policy.Uncapped, LowW: 90,
+			HighFor: 8 * time.Second, LowFor: 8 * time.Second},
+		policy.Jagged{StartW: 170, LowW: 80,
+			FallFor: 8 * time.Second, UncappedFor: 4 * time.Second},
+	}
+	workloads := []struct {
+		name string
+		mk   func() *workload.Workload
+	}{
+		{"LAMMPS", func() *workload.Workload { return apps.LAMMPS(apps.DefaultRanks, int(secs*25)) }},
+		{"QMCPACK (DMC)", func() *workload.Workload {
+			return apps.QMCPACK(apps.DefaultRanks, 1, 1, int(secs*20)).SubsetPhase("dmc")
+		}},
+		{"OpenMC (active)", func() *workload.Workload {
+			return apps.OpenMC(apps.DefaultRanks, 1, int(secs*1.5), 100000).SubsetPhase("active")
+		}},
+	}
+	tbl := trace.NewTable("", "Scheme", "Application", "corr(cap, progress)")
+	var notes []string
+	art := &Artifact{
+		ID:    "fig3",
+		Title: "Impact of dynamic power-capping on progress",
+	}
+	for _, sch := range schemes {
+		for _, wl := range workloads {
+			res, err := run(wl.mk(), sch, opts.Seed, secs)
+			if err != nil {
+				return nil, fmt.Errorf("fig3: %s/%s: %w", sch.Name(), wl.name, err)
+			}
+			capPerWindow, ratePerWindow := alignCapAndRate(res)
+			corr := stats.Pearson(capPerWindow, ratePerWindow)
+			tbl.AddRow(sch.Name(), wl.name, fmt.Sprintf("%.2f", corr))
+			notes = append(notes,
+				fmt.Sprintf("%-16s %-16s cap  %s", sch.Name(), wl.name, trace.Sparkline(capPerWindow)),
+				fmt.Sprintf("%-16s %-16s rate %s", "", "", trace.Sparkline(ratePerWindow)))
+
+			// SVG: normalize cap and progress onto one axis so the shape
+			// tracking is visible despite different units.
+			if plot, err := fig3Plot(sch.Name(), wl.name, capPerWindow, ratePerWindow); err == nil {
+				name := fmt.Sprintf("fig3_%s_%s", slug(sch.Name()), slug(wl.name))
+				art.addFigure(name, plot)
+			}
+		}
+	}
+	art.Tables = []*trace.Table{tbl}
+	art.Notes = notes
+	return art, nil
+}
+
+// fig3Plot draws cap and smoothed progress, each normalized to its own
+// maximum, over window index.
+func fig3Plot(scheme, app string, caps, rates []float64) (*trace.Plot, error) {
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("fig3: no windows")
+	}
+	norm := func(vs []float64) []float64 {
+		max := 0.0
+		for _, v := range vs {
+			if v > max {
+				max = v
+			}
+		}
+		out := make([]float64, len(vs))
+		for i, v := range vs {
+			if max > 0 {
+				out[i] = v / max
+			}
+		}
+		return out
+	}
+	xs := make([]float64, len(caps))
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	p := trace.NewPlot(fmt.Sprintf("Fig 3: %s under %s", app, scheme),
+		"aggregation window", "normalized to own max")
+	if err := p.Steps("power cap", xs, norm(caps)); err != nil {
+		return nil, err
+	}
+	if err := p.Line("online performance", xs, norm(rates)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// slug converts a label to a file-name-friendly token.
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '-', r == '_', r == '(', r == ')':
+			// collapse separators; skip parens
+			if b.Len() > 0 && !strings.HasSuffix(b.String(), "-") && r != '(' && r != ')' {
+				b.WriteByte('-')
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// alignCapAndRate pairs each progress window with the cap in force during
+// it, mapping "uncapped" to a value above any achievable draw so the
+// correlation is meaningful. Rates are smoothed over a five-window moving
+// average first: applications whose iteration period aliases against the
+// aggregation window (OpenMC's ~1 s batches) otherwise alternate between
+// zero and one whole report per window, burying the cap signal.
+func alignCapAndRate(res *engine.Result) (caps, rates []float64) {
+	const uncappedEquivalentW = 200
+	smoothed := stats.MovingAvg(res.Rates(), 5)
+	for i, s := range res.Samples {
+		capW, ok := res.CapTrace.ValueAt(s.At - time.Millisecond)
+		if !ok {
+			continue
+		}
+		if capW == policy.Uncapped {
+			capW = uncappedEquivalentW
+		}
+		caps = append(caps, capW)
+		rates = append(rates, smoothed[i])
+	}
+	return caps, rates
+}
+
+// Figure5 reproduces Fig 5: comparing power-limiting techniques on
+// STREAM. In the frequency range where plain DVFS applies, it delivers
+// more progress than RAPL at the same package power, because RAPL's
+// stringent-cap enforcement also throttles the uncore.
+func Figure5(opts Options) (*Artifact, error) {
+	opts.fillDefaults()
+	mkStream := func() *workload.Workload {
+		return apps.STREAM(apps.DefaultRanks, int(opts.RunSeconds*24))
+	}
+	tbl := trace.NewTable("", "Technique", "Setting", "Package power (W)", "Progress (iterations/s)")
+
+	var raplPts, dvfsPts []powerRatePoint
+
+	for _, capW := range []float64{150, 130, 110, 90, 70, 55} {
+		res, err := run(mkStream(), policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+		if err != nil {
+			return nil, fmt.Errorf("fig5: rapl %v: %w", capW, err)
+		}
+		p := meanSteadyPower(res, 2)
+		r := stats.Mean(steadyRates(res, 2))
+		raplPts = append(raplPts, powerRatePoint{p, r})
+		tbl.AddRow("RAPL", fmt.Sprintf("cap %.0f W", capW),
+			trace.Formatted(p), fmt.Sprintf("%.2f", r))
+	}
+	for _, mhz := range []float64{3300, 2800, 2300, 1800, 1300, 1000} {
+		res, err := runDVFS(mkStream(), mhz, opts.Seed, opts.RunSeconds)
+		if err != nil {
+			return nil, fmt.Errorf("fig5: dvfs %v: %w", mhz, err)
+		}
+		p := meanSteadyPower(res, 2)
+		r := stats.Mean(steadyRates(res, 2))
+		dvfsPts = append(dvfsPts, powerRatePoint{p, r})
+		tbl.AddRow("DVFS", fmt.Sprintf("%.0f MHz", mhz),
+			trace.Formatted(p), fmt.Sprintf("%.2f", r))
+	}
+
+	// Compare the techniques where their power ranges overlap: for each
+	// RAPL point, interpolate the DVFS rate at the same power.
+	better := 0
+	comparable := 0
+	for _, rp := range raplPts {
+		dr, ok := interpRate(dvfsPts, rp.power)
+		if !ok {
+			continue
+		}
+		comparable++
+		if dr >= rp.rate {
+			better++
+		}
+	}
+	art := &Artifact{
+		ID:     "fig5",
+		Title:  "STREAM: comparison of power limiting techniques on progress",
+		Tables: []*trace.Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("DVFS matches or beats RAPL at %d of %d comparable power levels", better, comparable),
+			"(in the range where DVFS is applicable) — RAPL is not the best capping",
+			"technique for STREAM, as the paper observes.",
+		},
+	}
+	plot := trace.NewPlot("Fig 5: STREAM progress vs package power by technique",
+		"package power (W)", "progress (iterations/s)")
+	toXY := func(pts []powerRatePoint) (xs, ys []float64) {
+		sorted := append([]powerRatePoint(nil), pts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].power < sorted[j].power })
+		for _, p := range sorted {
+			xs = append(xs, p.power)
+			ys = append(ys, p.rate)
+		}
+		return xs, ys
+	}
+	rx, ry := toXY(raplPts)
+	dx, dy := toXY(dvfsPts)
+	if err := plot.Line("RAPL", rx, ry); err != nil {
+		return nil, err
+	}
+	if err := plot.Line("DVFS", dx, dy); err != nil {
+		return nil, err
+	}
+	art.addFigure("fig5_techniques", plot)
+	return art, nil
+}
+
+// powerRatePoint is one (package power, progress rate) observation.
+type powerRatePoint struct{ power, rate float64 }
+
+// interpRate linearly interpolates rate at the given power between the
+// two adjacent points bracketing it; false if power is outside the
+// spanned range.
+func interpRate(pts []powerRatePoint, power float64) (float64, bool) {
+	sorted := append([]powerRatePoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].power < sorted[j].power })
+	for i := 0; i+1 < len(sorted); i++ {
+		lo, hi := sorted[i], sorted[i+1]
+		if lo.power <= power && power <= hi.power && lo.power < hi.power {
+			t := (power - lo.power) / (hi.power - lo.power)
+			return stats.Lerp(lo.rate, hi.rate, t), true
+		}
+	}
+	return 0, false
+}

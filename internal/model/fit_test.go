@@ -1,0 +1,86 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitAlphaRecoversTrueExponent(t *testing.T) {
+	// Generate calibration points from a known α=3 model and check the
+	// fit recovers it starting from the paper's α=2 default.
+	truth := Params{Beta: 0.8, Alpha: 3, RMax: 10, PCoreMaxW: 150}
+	base := truth.WithAlpha(DefaultAlpha)
+	var pts []CalibrationPoint
+	for _, cap := range []float64{160, 130, 100, 80, 60} {
+		pts = append(pts, CalibrationPoint{PkgCapW: cap, Rate: truth.PredictProgress(cap)})
+	}
+	fitted, err := FitAlpha(base, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitted.Alpha-3) > 0.051 {
+		t.Fatalf("fitted α = %v, want ~3", fitted.Alpha)
+	}
+	// The fit must not touch the other parameters.
+	if fitted.Beta != base.Beta || fitted.RMax != base.RMax || fitted.PCoreMaxW != base.PCoreMaxW {
+		t.Fatalf("fit mutated parameters: %+v", fitted)
+	}
+}
+
+func TestFitAlphaImprovesOverDefault(t *testing.T) {
+	truth := Params{Beta: 0.6, Alpha: 3.4, RMax: 16, PCoreMaxW: 140}
+	base := truth.WithAlpha(DefaultAlpha)
+	var pts []CalibrationPoint
+	for _, cap := range []float64{150, 120, 90, 70} {
+		pts = append(pts, CalibrationPoint{PkgCapW: cap, Rate: truth.PredictProgress(cap)})
+	}
+	fitted, err := FitAlpha(base, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse := func(p Params) float64 {
+		var s float64
+		for _, pt := range pts {
+			d := p.PredictProgress(pt.PkgCapW) - pt.Rate
+			s += d * d
+		}
+		return s
+	}
+	if sse(fitted) >= sse(base) {
+		t.Fatalf("fit did not improve: %v vs %v", sse(fitted), sse(base))
+	}
+}
+
+func TestFitAlphaStaysInPaperRange(t *testing.T) {
+	base := Params{Beta: 0.9, Alpha: 2, RMax: 10, PCoreMaxW: 150}
+	// Pathological points (rates unrelated to any α): fit must still
+	// return α within [1, 4].
+	pts := []CalibrationPoint{{PkgCapW: 100, Rate: 1}, {PkgCapW: 50, Rate: 9}}
+	fitted, err := FitAlpha(base, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.Alpha < 1 || fitted.Alpha > 4 {
+		t.Fatalf("fitted α = %v outside [1,4]", fitted.Alpha)
+	}
+}
+
+func TestFitAlphaValidation(t *testing.T) {
+	good := Params{Beta: 0.5, Alpha: 2, RMax: 1, PCoreMaxW: 100}
+	if _, err := FitAlpha(good, []CalibrationPoint{{PkgCapW: 100, Rate: 1}}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	bad := good
+	bad.Beta = 0
+	if _, err := FitAlpha(bad, []CalibrationPoint{{100, 1}, {50, 0.5}}); err == nil {
+		t.Fatal("invalid base accepted")
+	}
+}
+
+func TestWithAlpha(t *testing.T) {
+	p := Params{Beta: 0.5, Alpha: 2, RMax: 1, PCoreMaxW: 100}
+	q := p.WithAlpha(3)
+	if q.Alpha != 3 || p.Alpha != 2 {
+		t.Fatal("WithAlpha wrong or mutating")
+	}
+}

@@ -1,0 +1,195 @@
+// Package model implements the paper's analytical model of the impact of
+// RAPL package power capping on application progress (§VI).
+//
+// Starting from the Etinski DVFS time model (Eq. 1) and the classical
+// P_core ∝ f^α relation (Eq. 2), progress as a function of core power is
+// (Eq. 4):
+//
+//	r(P_core) = r(P_coremax) / ( β·((P_coremax/P_core)^(1/α) − 1) + 1 )
+//
+// With the paper's two RAPL assumptions — the package cap is split
+// between core and uncore in the ratio of the application's
+// compute-boundedness (P_corecap = β·P_cap, Eq. 5) and a capped
+// application uses all the power it is given (Eq. 6) — the change in
+// progress under an effective core cap is (Eq. 7):
+//
+//	δ_progress = r(P_coremax) · [ 1 − 1/( β·((P_coremax/P_corecap)^(1/α) − 1) + 1 ) ]
+//
+// The paper fixes α = 2 for all predictions; DefaultAlpha follows.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultAlpha is the α the paper uses for every model prediction (§VI:
+// "α is assumed to have a value of 2 for all model predictions").
+const DefaultAlpha = 2.0
+
+// TimeRatio is Eq. 1: T(f)/T(fmax) = β(fmax/f − 1) + 1.
+func TimeRatio(beta, fmax, f float64) float64 {
+	if f <= 0 || fmax <= 0 {
+		panic(fmt.Sprintf("model: non-positive frequency %v/%v", f, fmax))
+	}
+	return beta*(fmax/f-1) + 1
+}
+
+// BetaFromTimes inverts Eq. 1: given execution times at two frequencies
+// it returns β. This is the paper's §IV-A characterization procedure
+// (times at 3300 MHz and 1600 MHz).
+func BetaFromTimes(tAtFmax, tAtF, fmax, f float64) float64 {
+	if tAtFmax <= 0 || f <= 0 || fmax <= f {
+		panic(fmt.Sprintf("model: invalid beta inputs t=%v/%v f=%v/%v", tAtFmax, tAtF, fmax, f))
+	}
+	return (tAtF/tAtFmax - 1) / (fmax/f - 1)
+}
+
+// Params is a fitted model for one application.
+type Params struct {
+	// Beta is the application's compute-boundedness (§IV-A, Table VI).
+	Beta float64
+	// Alpha is the frequency exponent of core power (Eq. 2).
+	Alpha float64
+	// RMax is the progress rate at the uncapped core power P_coremax,
+	// in the application's metric units per second.
+	RMax float64
+	// PCoreMaxW is the core power at the uncapped operating point. The
+	// paper estimates it as β times the uncapped package power, since
+	// only package-level power is observable.
+	PCoreMaxW float64
+}
+
+// Validate rejects non-physical parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Beta <= 0 || p.Beta > 1:
+		return fmt.Errorf("model: β=%v outside (0,1]", p.Beta)
+	case p.Alpha < 1 || p.Alpha > 4:
+		return fmt.Errorf("model: α=%v outside [1,4]", p.Alpha)
+	case p.RMax <= 0:
+		return fmt.Errorf("model: r(P_coremax)=%v invalid", p.RMax)
+	case p.PCoreMaxW <= 0:
+		return fmt.Errorf("model: P_coremax=%v invalid", p.PCoreMaxW)
+	}
+	return nil
+}
+
+// FromBaseline builds Params from an uncapped measurement using the
+// paper's estimates: P_coremax = β · P_pkg,uncapped and α = DefaultAlpha.
+func FromBaseline(beta, uncappedRate, uncappedPkgW float64) (Params, error) {
+	p := Params{
+		Beta:      beta,
+		Alpha:     DefaultAlpha,
+		RMax:      uncappedRate,
+		PCoreMaxW: beta * uncappedPkgW,
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// EffectiveCoreCap is Eq. 5: the core budget RAPL is assumed to allocate
+// under a package cap.
+func (p Params) EffectiveCoreCap(pkgCapW float64) float64 {
+	return p.Beta * pkgCapW
+}
+
+// ProgressAtCoreCap is Eq. 4 evaluated at an effective core cap. Core
+// caps at or above P_coremax return RMax (the cap is not binding).
+func (p Params) ProgressAtCoreCap(pCoreCapW float64) float64 {
+	if pCoreCapW <= 0 {
+		return 0
+	}
+	if pCoreCapW >= p.PCoreMaxW {
+		return p.RMax
+	}
+	denom := p.Beta*(math.Pow(p.PCoreMaxW/pCoreCapW, 1/p.Alpha)-1) + 1
+	return p.RMax / denom
+}
+
+// DeltaProgressAtCoreCap is Eq. 7: the drop in progress when the
+// effective core cap pCoreCapW is applied from the uncapped state.
+func (p Params) DeltaProgressAtCoreCap(pCoreCapW float64) float64 {
+	return p.RMax - p.ProgressAtCoreCap(pCoreCapW)
+}
+
+// PredictProgress applies Eqs. 5+4: progress under a package cap.
+func (p Params) PredictProgress(pkgCapW float64) float64 {
+	return p.ProgressAtCoreCap(p.EffectiveCoreCap(pkgCapW))
+}
+
+// PredictDelta applies Eqs. 5+7: change in progress under a package cap.
+func (p Params) PredictDelta(pkgCapW float64) float64 {
+	return p.RMax - p.PredictProgress(pkgCapW)
+}
+
+// CapForProgress inverts the model: the effective core cap needed to
+// sustain a target progress rate (the paper's third modeling goal:
+// "decide on the exact power budget to be employed given an expectation
+// of online performance"). Targets at or above RMax return PCoreMaxW;
+// non-positive targets are invalid.
+func (p Params) CapForProgress(targetRate float64) (coreCapW float64, err error) {
+	if targetRate <= 0 {
+		return 0, fmt.Errorf("model: non-positive target rate %v", targetRate)
+	}
+	if targetRate >= p.RMax {
+		return p.PCoreMaxW, nil
+	}
+	// Invert Eq. 4: denom = RMax/target; (Pmax/Pcap)^(1/α) = (denom-1)/β + 1.
+	denom := p.RMax / targetRate
+	base := (denom-1)/p.Beta + 1
+	return p.PCoreMaxW / math.Pow(base, p.Alpha), nil
+}
+
+// PackageCapForProgress inverts Eq. 5 on top of CapForProgress.
+func (p Params) PackageCapForProgress(targetRate float64) (pkgCapW float64, err error) {
+	core, err := p.CapForProgress(targetRate)
+	if err != nil {
+		return 0, err
+	}
+	return core / p.Beta, nil
+}
+
+// WithAlpha returns a copy of the parameters with a different frequency
+// exponent.
+func (p Params) WithAlpha(alpha float64) Params {
+	p.Alpha = alpha
+	return p
+}
+
+// CalibrationPoint is one measured (package cap, progress rate) pair
+// used to fit α.
+type CalibrationPoint struct {
+	PkgCapW float64
+	Rate    float64
+}
+
+// FitAlpha implements the improvement the paper's discussion calls for
+// (§VI-3: "our experiments indicate that this value varies between 1 and
+// 4 depending on the range of the power cap"): instead of fixing α = 2,
+// fit it to a small calibration sweep by minimizing the sum of squared
+// progress-prediction errors over a fine grid of α ∈ [1, 4].
+func FitAlpha(base Params, points []CalibrationPoint) (Params, error) {
+	if err := base.Validate(); err != nil {
+		return Params{}, err
+	}
+	if len(points) < 2 {
+		return Params{}, fmt.Errorf("model: FitAlpha needs at least 2 calibration points, got %d", len(points))
+	}
+	bestAlpha, bestErr := base.Alpha, math.Inf(1)
+	for alpha := 1.0; alpha <= 4.0+1e-9; alpha += 0.05 {
+		cand := base.WithAlpha(alpha)
+		var sse float64
+		for _, pt := range points {
+			d := cand.PredictProgress(pt.PkgCapW) - pt.Rate
+			sse += d * d
+		}
+		if sse < bestErr {
+			bestErr = sse
+			bestAlpha = alpha
+		}
+	}
+	return base.WithAlpha(bestAlpha), nil
+}

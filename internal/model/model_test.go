@@ -1,0 +1,222 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params(t *testing.T, beta, rMax, pCoreMax float64) Params {
+	t.Helper()
+	p := Params{Beta: beta, Alpha: DefaultAlpha, RMax: rMax, PCoreMaxW: pCoreMax}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTimeRatioIdentityAtFmax(t *testing.T) {
+	if got := TimeRatio(0.7, 3300, 3300); got != 1 {
+		t.Fatalf("T(fmax)/T(fmax) = %v", got)
+	}
+}
+
+func TestTimeRatioComputeBound(t *testing.T) {
+	// β=1: halving frequency doubles time.
+	if got := TimeRatio(1, 3300, 1650); got != 2 {
+		t.Fatalf("ratio = %v, want 2", got)
+	}
+	// β=0: frequency has no effect.
+	if got := TimeRatio(0, 3300, 1000); got != 1 {
+		t.Fatalf("ratio = %v, want 1", got)
+	}
+}
+
+func TestBetaFromTimesInvertsTimeRatio(t *testing.T) {
+	for _, beta := range []float64{0.1, 0.37, 0.52, 0.84, 1.0} {
+		tMax := 10.0
+		tLow := tMax * TimeRatio(beta, 3300, 1600)
+		got := BetaFromTimes(tMax, tLow, 3300, 1600)
+		if math.Abs(got-beta) > 1e-12 {
+			t.Errorf("β round trip %v -> %v", beta, got)
+		}
+	}
+}
+
+func TestBetaFromTimesPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("f >= fmax did not panic")
+		}
+	}()
+	BetaFromTimes(1, 2, 1600, 3300)
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Beta: 0, Alpha: 2, RMax: 1, PCoreMaxW: 100},
+		{Beta: 1.5, Alpha: 2, RMax: 1, PCoreMaxW: 100},
+		{Beta: 0.5, Alpha: 0.5, RMax: 1, PCoreMaxW: 100},
+		{Beta: 0.5, Alpha: 2, RMax: 0, PCoreMaxW: 100},
+		{Beta: 0.5, Alpha: 2, RMax: 1, PCoreMaxW: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d validated: %+v", i, p)
+		}
+	}
+}
+
+func TestFromBaseline(t *testing.T) {
+	p, err := FromBaseline(0.84, 16, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Alpha != DefaultAlpha || p.RMax != 16 {
+		t.Fatalf("params = %+v", p)
+	}
+	if math.Abs(p.PCoreMaxW-0.84*180) > 1e-12 {
+		t.Fatalf("PCoreMax = %v", p.PCoreMaxW)
+	}
+	if _, err := FromBaseline(0, 16, 180); err == nil {
+		t.Fatal("β=0 accepted")
+	}
+}
+
+func TestProgressUnboundCap(t *testing.T) {
+	p := params(t, 0.84, 16, 150)
+	if got := p.ProgressAtCoreCap(150); got != 16 {
+		t.Fatalf("progress at P_coremax = %v", got)
+	}
+	if got := p.ProgressAtCoreCap(500); got != 16 {
+		t.Fatalf("progress above P_coremax = %v", got)
+	}
+	if got := p.DeltaProgressAtCoreCap(150); got != 0 {
+		t.Fatalf("δ at P_coremax = %v", got)
+	}
+}
+
+func TestProgressEq4Value(t *testing.T) {
+	// Hand-computed: β=1, α=2, Pmax=160, cap=40 → (160/40)^0.5 = 2,
+	// denom = 1·(2−1)+1 = 2 → progress halves.
+	p := params(t, 1, 100, 160)
+	if got := p.ProgressAtCoreCap(40); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("progress = %v, want 50", got)
+	}
+	if got := p.DeltaProgressAtCoreCap(40); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("δ = %v, want 50", got)
+	}
+}
+
+func TestMemoryBoundLessSensitive(t *testing.T) {
+	// The same relative core cap hurts a memory-bound code less.
+	compute := params(t, 1.0, 100, 160)
+	memory := params(t, 0.37, 100, 160)
+	dc := compute.DeltaProgressAtCoreCap(60)
+	dm := memory.DeltaProgressAtCoreCap(60)
+	if dm >= dc {
+		t.Fatalf("memory-bound δ %v not below compute-bound δ %v", dm, dc)
+	}
+}
+
+func TestPredictUsesEq5Split(t *testing.T) {
+	p := params(t, 0.5, 10, 80)
+	// Package cap 100 → core cap 50.
+	want := p.ProgressAtCoreCap(50)
+	if got := p.PredictProgress(100); got != want {
+		t.Fatalf("PredictProgress = %v, want %v", got, want)
+	}
+	if got := p.PredictDelta(100); math.Abs(got-(10-want)) > 1e-12 {
+		t.Fatalf("PredictDelta = %v", got)
+	}
+}
+
+func TestProgressMonotoneInCap(t *testing.T) {
+	p := params(t, 0.84, 16, 150)
+	prev := -1.0
+	for cap := 10.0; cap <= 200; cap += 5 {
+		got := p.ProgressAtCoreCap(cap)
+		if got < prev {
+			t.Fatalf("progress not monotone at cap %v", cap)
+		}
+		prev = got
+	}
+}
+
+func TestZeroCapZeroProgress(t *testing.T) {
+	p := params(t, 0.8, 10, 100)
+	if p.ProgressAtCoreCap(0) != 0 || p.ProgressAtCoreCap(-5) != 0 {
+		t.Fatal("non-positive cap should yield zero progress")
+	}
+}
+
+func TestCapForProgressInvertsModel(t *testing.T) {
+	p := params(t, 0.84, 16, 150)
+	for _, target := range []float64{4, 8, 12, 15.9} {
+		cap, err := p.CapForProgress(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := p.ProgressAtCoreCap(cap)
+		if math.Abs(back-target) > 1e-9 {
+			t.Fatalf("target %v → cap %v → progress %v", target, cap, back)
+		}
+	}
+}
+
+func TestCapForProgressEdges(t *testing.T) {
+	p := params(t, 0.5, 10, 100)
+	cap, err := p.CapForProgress(10)
+	if err != nil || cap != 100 {
+		t.Fatalf("target=RMax: %v, %v", cap, err)
+	}
+	cap, err = p.CapForProgress(25)
+	if err != nil || cap != 100 {
+		t.Fatalf("target>RMax: %v, %v", cap, err)
+	}
+	if _, err := p.CapForProgress(0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+}
+
+func TestPackageCapForProgress(t *testing.T) {
+	p := params(t, 0.5, 10, 100)
+	pkg, err := p.PackageCapForProgress(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PredictProgress(pkg); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("round trip progress = %v", got)
+	}
+}
+
+// Property: δ is non-negative, bounded by RMax, and non-increasing in the
+// cap for any valid parameters.
+func TestDeltaProperty(t *testing.T) {
+	prop := func(betaRaw, capRaw1, capRaw2 uint8) bool {
+		beta := 0.05 + float64(betaRaw)/255*0.95
+		p := Params{Beta: beta, Alpha: 2, RMax: 10, PCoreMaxW: 150}
+		c1 := 1 + float64(capRaw1)/255*200
+		c2 := 1 + float64(capRaw2)/255*200
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		d1, d2 := p.DeltaProgressAtCoreCap(c1), p.DeltaProgressAtCoreCap(c2)
+		return d1 >= -1e-12 && d1 <= 10+1e-12 && d2 <= d1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: higher α (for a sub-max cap) predicts a smaller impact,
+// because frequency falls more slowly with power.
+func TestAlphaSensitivity(t *testing.T) {
+	for _, cap := range []float64{30, 60, 90, 120} {
+		p2 := Params{Beta: 0.8, Alpha: 2, RMax: 10, PCoreMaxW: 150}
+		p3 := Params{Beta: 0.8, Alpha: 3, RMax: 10, PCoreMaxW: 150}
+		if p3.DeltaProgressAtCoreCap(cap) > p2.DeltaProgressAtCoreCap(cap)+1e-12 {
+			t.Fatalf("α=3 predicted larger impact than α=2 at cap %v", cap)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives beyond the core set in mpi.go, mirroring the
+// MPI operations HPC codes lean on.
+
+const (
+	tagScatter  = 1<<30 + 3
+	tagAlltoall = 1<<30 + 4
+)
+
+// Scatter distributes root's values slice — one element per rank — and
+// returns the caller's element. Root must supply exactly Size elements;
+// other ranks' values argument is ignored.
+func (c *Comm) Scatter(root int, values []interface{}) interface{} {
+	c.check(root, "root")
+	if c.rank == root {
+		if len(values) != c.w.size {
+			panic(fmt.Sprintf("mpi: Scatter needs %d values, got %d", c.w.size, len(values)))
+		}
+		for r := 0; r < c.w.size; r++ {
+			if r != root {
+				c.Send(r, tagScatter, values[r])
+			}
+		}
+		return values[root]
+	}
+	v, _, _ := c.Recv(root, tagScatter)
+	return v
+}
+
+// Alltoall performs the full exchange: rank i's values[j] is delivered
+// to rank j, which receives it at index i of its result. Every rank must
+// supply exactly Size values.
+func (c *Comm) Alltoall(values []interface{}) []interface{} {
+	if len(values) != c.w.size {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d values, got %d", c.w.size, len(values)))
+	}
+	out := make([]interface{}, c.w.size)
+	out[c.rank] = values[c.rank]
+	for r := 0; r < c.w.size; r++ {
+		if r != c.rank {
+			c.Send(r, tagAlltoall, [2]interface{}{c.rank, values[r]})
+		}
+	}
+	for i := 0; i < c.w.size-1; i++ {
+		d, _, _ := c.Recv(AnySource, tagAlltoall)
+		pair := d.([2]interface{})
+		out[pair[0].(int)] = pair[1]
+	}
+	return out
+}
+
+// Sendrecv performs a combined send and receive (deadlock-free because
+// sends never block in this runtime).
+func (c *Comm) Sendrecv(sendTo, sendTag int, sendData interface{}, recvFrom, recvTag int) (data interface{}, source, tag int) {
+	c.Send(sendTo, sendTag, sendData)
+	return c.Recv(recvFrom, recvTag)
+}
+
+// Allgather collects every rank's value on every rank, indexed by rank.
+func (c *Comm) Allgather(v interface{}) []interface{} {
+	gathered := c.Gather(0, v)
+	if c.rank == 0 {
+		c.Bcast(0, gathered)
+		return gathered
+	}
+	r := c.Bcast(0, nil)
+	return r.([]interface{})
+}
+
+// Exscan computes the exclusive prefix reduction: rank i receives the
+// combination of ranks 0..i-1's values (rank 0 receives 0 for Sum, and
+// the op identity is approximated with the rank's own value excluded).
+// Only Sum is supported, matching its dominant use for offsets.
+func (c *Comm) Exscan(v float64) float64 {
+	all := c.Allgather(v)
+	var acc float64
+	for r := 0; r < c.rank; r++ {
+		acc += all[r].(float64)
+	}
+	return acc
+}
+
+// GatherCounts is a convenience over Gather for integer contributions,
+// returning the per-rank counts on root (nil elsewhere).
+func (c *Comm) GatherCounts(root, count int) []int {
+	res := c.Gather(root, count)
+	if res == nil {
+		return nil
+	}
+	out := make([]int, len(res))
+	for i, v := range res {
+		out[i] = v.(int)
+	}
+	return out
+}

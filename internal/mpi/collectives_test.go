@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScatter(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		var vals []interface{}
+		if c.Rank() == 2 {
+			for i := 0; i < 5; i++ {
+				vals = append(vals, i*100)
+			}
+		}
+		got := c.Scatter(2, vals)
+		if got.(int) != c.Rank()*100 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongLengthPanics(t *testing.T) {
+	// Single-rank world avoids the deadlock a mid-collective panic would
+	// otherwise cause for peers blocked in Recv.
+	err := Run(1, func(c *Comm) error {
+		c.Scatter(0, []interface{}{1, 2}) // wrong length → panic → error
+		return nil
+	})
+	if err == nil {
+		t.Fatal("wrong-length scatter accepted")
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	err := Run(n, func(c *Comm) error {
+		vals := make([]interface{}, n)
+		for j := 0; j < n; j++ {
+			vals[j] = c.Rank()*10 + j // value destined for rank j
+		}
+		out := c.Alltoall(vals)
+		for i := 0; i < n; i++ {
+			want := i*10 + c.Rank()
+			if out[i].(int) != want {
+				return fmt.Errorf("rank %d out[%d] = %v, want %v", c.Rank(), i, out[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const n = 6
+	err := Run(n, func(c *Comm) error {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		data, src, _ := c.Sendrecv(right, 5, c.Rank(), left, 5)
+		if src != left || data.(int) != left {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), data, src)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		out := c.Allgather(c.Rank() * c.Rank())
+		for r := 0; r < 4; r++ {
+			if out[r].(int) != r*r {
+				return fmt.Errorf("rank %d: out[%d] = %v", c.Rank(), r, out[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscan(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		got := c.Exscan(float64(c.Rank() + 1)) // values 1..5
+		want := 0.0
+		for r := 1; r <= c.Rank(); r++ {
+			want += float64(r)
+		}
+		if got != want {
+			return fmt.Errorf("rank %d exscan = %v, want %v", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherCounts(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		out := c.GatherCounts(1, c.Rank()+10)
+		if c.Rank() != 1 {
+			if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for r, v := range out {
+			if v != r+10 {
+				return fmt.Errorf("counts[%d] = %d", r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

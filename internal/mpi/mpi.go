@@ -1,0 +1,263 @@
+// Package mpi is a miniature message-passing runtime — the repository's
+// stand-in for the MPI library the paper's applications are built on.
+// Ranks are goroutines inside one process; the API mirrors the MPI calls
+// the paper's code sample (Listing 1) and applications use: rank/size
+// queries, point-to-point send/receive with tags, barrier, broadcast,
+// reduce, allreduce, and Wtime.
+//
+// Sends are asynchronous (buffered); receives match on (source, tag) with
+// wildcard support. The runtime is deliberately strict about misuse:
+// out-of-range ranks panic, and Run reports an error if any rank's body
+// returns one or panics.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AnySource and AnyTag are wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case Sum:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+	}
+}
+
+type message struct {
+	from, tag int
+	data      interface{}
+}
+
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(m message) {
+	ib.mu.Lock()
+	ib.pending = append(ib.pending, m)
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) take(from, tag int) message {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for i, m := range ib.pending {
+			if (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag) {
+				ib.pending = append(ib.pending[:i], ib.pending[i+1:]...)
+				return m
+			}
+		}
+		ib.cond.Wait()
+	}
+}
+
+// world is the shared state of one Run.
+type world struct {
+	size    int
+	inboxes []*inbox
+	epoch   time.Time
+
+	barMu   sync.Mutex
+	barCond *sync.Cond
+	barGen  int
+	barCnt  int
+}
+
+// Comm is one rank's handle on the communicator.
+type Comm struct {
+	w    *world
+	rank int
+}
+
+// Rank returns the calling rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// Wtime returns seconds since the communicator was created (MPI_Wtime
+// semantics).
+func (c *Comm) Wtime() float64 { return time.Since(c.w.epoch).Seconds() }
+
+func (c *Comm) check(rank int, what string) {
+	if rank < 0 || rank >= c.w.size {
+		panic(fmt.Sprintf("mpi: %s rank %d out of range [0,%d)", what, rank, c.w.size))
+	}
+}
+
+// Send delivers data to rank `to` with the given tag. It never blocks.
+func (c *Comm) Send(to, tag int, data interface{}) {
+	c.check(to, "destination")
+	c.w.inboxes[to].put(message{from: c.rank, tag: tag, data: data})
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns
+// its payload and envelope. Use AnySource / AnyTag as wildcards.
+func (c *Comm) Recv(from, tag int) (data interface{}, source, msgTag int) {
+	if from != AnySource {
+		c.check(from, "source")
+	}
+	m := c.w.inboxes[c.rank].take(from, tag)
+	return m.data, m.from, m.tag
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.barMu.Lock()
+	gen := w.barGen
+	w.barCnt++
+	if w.barCnt == w.size {
+		w.barCnt = 0
+		w.barGen++
+		w.barCond.Broadcast()
+	} else {
+		for gen == w.barGen {
+			w.barCond.Wait()
+		}
+	}
+	w.barMu.Unlock()
+}
+
+// internal collective tags live above any user tag space.
+const (
+	tagBcast = 1 << 30
+	tagGath  = 1<<30 + 1
+	tagScat  = 1<<30 + 2
+)
+
+// Bcast distributes root's value to every rank and returns it. Non-root
+// callers' data argument is ignored.
+func (c *Comm) Bcast(root int, data interface{}) interface{} {
+	c.check(root, "root")
+	if c.rank == root {
+		for r := 0; r < c.w.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	v, _, _ := c.Recv(root, tagBcast)
+	return v
+}
+
+// Reduce combines every rank's value at root with op. Only root receives
+// the result (ok true); other ranks get (0, false).
+func (c *Comm) Reduce(root int, v float64, op Op) (float64, bool) {
+	c.check(root, "root")
+	if c.rank != root {
+		c.Send(root, tagGath, v)
+		return 0, false
+	}
+	acc := v
+	for i := 0; i < c.w.size-1; i++ {
+		d, _, _ := c.Recv(AnySource, tagGath)
+		acc = op.apply(acc, d.(float64))
+	}
+	return acc, true
+}
+
+// Allreduce combines every rank's value with op and returns the result on
+// all ranks.
+func (c *Comm) Allreduce(v float64, op Op) float64 {
+	acc, ok := c.Reduce(0, v, op)
+	if !ok {
+		r := c.Bcast(0, nil)
+		return r.(float64)
+	}
+	c.Bcast(0, acc)
+	return acc
+}
+
+// Gather collects every rank's value at root, indexed by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, v interface{}) []interface{} {
+	c.check(root, "root")
+	if c.rank != root {
+		c.Send(root, tagScat, [2]interface{}{c.rank, v})
+		return nil
+	}
+	out := make([]interface{}, c.w.size)
+	out[c.rank] = v
+	for i := 0; i < c.w.size-1; i++ {
+		d, _, _ := c.Recv(AnySource, tagScat)
+		pair := d.([2]interface{})
+		out[pair[0].(int)] = pair[1]
+	}
+	return out
+}
+
+// Run launches size ranks executing body concurrently and waits for all
+// of them. It returns the first non-nil error; a panicking rank is
+// reported as an error rather than crashing the process.
+func Run(size int, body func(c *Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("mpi: size %d invalid", size)
+	}
+	w := &world{size: size, inboxes: make([]*inbox, size), epoch: time.Now()}
+	w.barCond = sync.NewCond(&w.barMu)
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package nrm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/engine"
+	"progresscap/internal/stats"
+)
+
+func newEngine(t *testing.T, steps int, seed uint64) *engine.Engine {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Seed = seed
+	e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// streamDVFSTable is a coarse calibration table for STREAM (values match
+// the Fig 5 measurements).
+var streamDVFSTable = []DVFSPoint{
+	{MHz: 2800, PowerW: 156},
+	{MHz: 2300, PowerW: 132},
+	{MHz: 1800, PowerW: 113},
+	{MHz: 1300, PowerW: 99},
+	{MHz: 1000, PowerW: 86},
+}
+
+func TestNewValidation(t *testing.T) {
+	e := newEngine(t, 50, 1)
+	if _, err := New(Config{Epoch: time.Millisecond}, e); err == nil {
+		t.Fatal("tiny epoch accepted")
+	}
+	if _, err := New(Config{Beta: 2}, e); err == nil {
+		t.Fatal("β=2 accepted")
+	}
+}
+
+func TestCalibrationThenUncappedRun(t *testing.T) {
+	n, err := New(Config{Beta: 1.0}, newEngine(t, 300, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("workload incomplete")
+	}
+	if n.BaselineRate() < 700000 || n.BaselineRate() > 900000 {
+		t.Fatalf("baseline = %v", n.BaselineRate())
+	}
+	p, ok := n.Model()
+	if !ok {
+		t.Fatal("model never fitted")
+	}
+	if p.Beta != 1.0 || p.RMax != n.BaselineRate() {
+		t.Fatalf("fitted params = %+v", p)
+	}
+	// Every decision after calibration is "none" (no budget set).
+	for i, d := range n.Decisions() {
+		if i >= 3 && d.Knob != KnobNone {
+			t.Fatalf("decision %d = %v without a budget", i, d.Knob)
+		}
+	}
+}
+
+func TestEnforceBudgetRespectsPower(t *testing.T) {
+	n, err := New(Config{Beta: 1.0}, newEngine(t, 900, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(110)
+	res, err := n.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power after calibration + settling must respect the budget.
+	vals := res.PowerTrace.Values()
+	for i := 5; i < len(vals)-1; i++ {
+		if vals[i] > 110*1.05 {
+			t.Fatalf("window %d power %v exceeds 110 W budget", i, vals[i])
+		}
+	}
+	// Progress under budget must drop below the baseline.
+	post := stats.Mean(res.Rates()[5:])
+	if post >= n.BaselineRate()*0.95 {
+		t.Fatalf("budget had no progress effect: %v vs baseline %v", post, n.BaselineRate())
+	}
+	// The decision log shows RAPL enforcement with a sane prediction.
+	var found bool
+	for _, d := range n.Decisions() {
+		if d.Knob == KnobRAPL {
+			found = true
+			if d.PredictedRate <= 0 || d.PredictedRate >= n.BaselineRate() {
+				t.Fatalf("RAPL prediction %v implausible", d.PredictedRate)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no RAPL decision recorded")
+	}
+}
+
+func TestBudgetAboveBaselineStaysUncapped(t *testing.T) {
+	n, err := New(Config{Beta: 1.0}, newEngine(t, 200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(400) // way above the ~180 W uncapped draw
+	if _, err := n.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range n.Decisions() {
+		if i >= 3 && d.Knob != KnobNone {
+			t.Fatalf("decision %d = %v for a non-binding budget", i, d.Knob)
+		}
+	}
+}
+
+func TestDVFSPreferredForMemoryBound(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	e, err := engine.New(cfg, apps.STREAM(apps.DefaultRanks, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Beta: 0.37, DVFSTable: streamDVFSTable}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(120)
+	if _, err := n.Run(45 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dvfs := 0
+	for _, d := range n.Decisions() {
+		if d.Knob == KnobDVFS {
+			dvfs++
+			if d.Setting != 1800 { // fastest point fitting 120 W with headroom
+				t.Fatalf("DVFS setting = %v, want 1800", d.Setting)
+			}
+		}
+	}
+	if dvfs == 0 {
+		t.Fatal("memory-bound budget never used DVFS")
+	}
+}
+
+func TestTargetProgressMode(t *testing.T) {
+	n, err := New(Config{Beta: 1.0}, newEngine(t, 900, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := func() (*engine.Result, error) {
+		// Calibrate first, then ask for 70% of baseline.
+		for i := 0; i < 4; i++ {
+			if _, err := n.Step(); err != nil {
+				return nil, err
+			}
+		}
+		n.SetTargetProgress(n.BaselineRate() * 0.7)
+		return n.Run(time.Minute)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Achieved progress near the target (model error allowed).
+	post := stats.Mean(res.Rates()[6:])
+	target := n.BaselineRate() * 0.7
+	if math.Abs(post-target)/target > 0.30 {
+		t.Fatalf("achieved %v, target %v (>30%% off)", post, target)
+	}
+	// And the node saved power doing it.
+	power := stats.Mean(res.PowerTrace.Values()[6:])
+	if power >= 175 {
+		t.Fatalf("no power saved: %v W", power)
+	}
+}
+
+func TestPhaseChangeDetectedAndBaselineRescaled(t *testing.T) {
+	// QMCPACK's VMC1 (~8 blocks/s) → VMC2 (~12) → DMC (~16) transitions
+	// must be detected while running uncapped, and the baseline must end
+	// near the final phase's level.
+	cfg := engine.DefaultConfig()
+	e, err := engine.New(cfg, apps.QMCPACK(apps.DefaultRanks, 80, 120, 160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Beta: 0.84}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Run(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("QMCPACK incomplete")
+	}
+	if n.PhaseChanges() < 2 {
+		t.Fatalf("detected %d phase changes, want >= 2", n.PhaseChanges())
+	}
+	if math.Abs(n.BaselineRate()-16) > 3 {
+		t.Fatalf("baseline after DMC = %v, want ~16", n.BaselineRate())
+	}
+}
+
+func TestKnobString(t *testing.T) {
+	if KnobNone.String() != "none" || KnobRAPL.String() != "rapl" || KnobDVFS.String() != "dvfs" {
+		t.Fatal("knob names wrong")
+	}
+}

@@ -1,0 +1,118 @@
+// Package omp is a miniature fork-join threading runtime — the
+// repository's stand-in for the OpenMP runtime that parallelizes
+// QMCPACK, OpenMC, and STREAM in the paper (24 pinned threads, one per
+// physical core). It provides a fixed-size thread team, parallel regions,
+// statically scheduled parallel-for loops, and a sum reduction.
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Team is a reusable group of worker threads.
+type Team struct {
+	threads int
+}
+
+// NewTeam returns a team of n threads. It panics if n < 1.
+func NewTeam(n int) *Team {
+	if n < 1 {
+		panic(fmt.Sprintf("omp: team size %d invalid", n))
+	}
+	return &Team{threads: n}
+}
+
+// NumThreads returns the team size.
+func (t *Team) NumThreads() int { return t.threads }
+
+// Parallel runs body once on every thread concurrently and waits for all
+// of them (an `omp parallel` region). Panics in workers propagate to the
+// caller after every worker has finished.
+func (t *Team) Parallel(body func(thread int)) {
+	var wg sync.WaitGroup
+	panics := make([]interface{}, t.threads)
+	for th := 0; th < t.threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			defer func() { panics[th] = recover() }()
+			body(th)
+		}(th)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// ParallelFor executes body(i, thread) for i in [0, n) across the team
+// with static scheduling: thread k owns the contiguous block
+// [k·n/threads, (k+1)·n/threads).
+func (t *Team) ParallelFor(n int, body func(i, thread int)) {
+	if n <= 0 {
+		return
+	}
+	t.Parallel(func(th int) {
+		lo := th * n / t.threads
+		hi := (th + 1) * n / t.threads
+		for i := lo; i < hi; i++ {
+			body(i, th)
+		}
+	})
+}
+
+// ParallelForDynamic executes body(i, thread) for i in [0, n) with
+// dynamic scheduling: threads grab chunkSize-sized blocks from a shared
+// counter as they finish, which balances irregular iteration costs (an
+// `omp parallel for schedule(dynamic, chunk)`).
+func (t *Team) ParallelForDynamic(n, chunkSize int, body func(i, thread int)) {
+	if n <= 0 {
+		return
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	var next int64
+	t.Parallel(func(th int) {
+		for {
+			lo := int(atomic.AddInt64(&next, int64(chunkSize))) - chunkSize
+			if lo >= n {
+				return
+			}
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				body(i, th)
+			}
+		}
+	})
+}
+
+// ParallelSum evaluates f(i) for i in [0, n) across the team and returns
+// the sum (an `omp parallel for reduction(+:...)`).
+func (t *Team) ParallelSum(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	partial := make([]float64, t.threads)
+	t.Parallel(func(th int) {
+		lo := th * n / t.threads
+		hi := (th + 1) * n / t.threads
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[th] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}

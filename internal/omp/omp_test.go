@@ -1,0 +1,168 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTeamInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTeam(0) did not panic")
+		}
+	}()
+	NewTeam(0)
+}
+
+func TestParallelRunsEveryThreadOnce(t *testing.T) {
+	team := NewTeam(7)
+	var counts [7]int32
+	team.Parallel(func(th int) {
+		atomic.AddInt32(&counts[th], 1)
+	})
+	for th, n := range counts {
+		if n != 1 {
+			t.Fatalf("thread %d ran %d times", th, n)
+		}
+	}
+}
+
+func TestParallelPropagatesPanic(t *testing.T) {
+	team := NewTeam(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic not propagated")
+		}
+	}()
+	team.Parallel(func(th int) {
+		if th == 2 {
+			panic("worker died")
+		}
+	})
+}
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	team := NewTeam(6)
+	const n = 1000
+	var hits [n]int32
+	team.ParallelFor(n, func(i, th int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForStaticBlocks(t *testing.T) {
+	team := NewTeam(4)
+	owner := make([]int32, 100)
+	team.ParallelFor(100, func(i, th int) {
+		atomic.StoreInt32(&owner[i], int32(th))
+	})
+	// Static schedule: thread owner is non-decreasing over indices.
+	for i := 1; i < 100; i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("ownership not contiguous at %d: %v < %v", i, owner[i], owner[i-1])
+		}
+	}
+	if owner[0] != 0 || owner[99] != 3 {
+		t.Fatalf("block ends owned by %d and %d", owner[0], owner[99])
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	team := NewTeam(3)
+	ran := false
+	team.ParallelFor(0, func(i, th int) { ran = true })
+	team.ParallelFor(-5, func(i, th int) { ran = true })
+	if ran {
+		t.Fatal("body ran for empty range")
+	}
+}
+
+func TestParallelForFewerItemsThanThreads(t *testing.T) {
+	team := NewTeam(8)
+	var total int32
+	team.ParallelFor(3, func(i, th int) { atomic.AddInt32(&total, 1) })
+	if total != 3 {
+		t.Fatalf("visited %d items, want 3", total)
+	}
+}
+
+func TestParallelForDynamicCoversRange(t *testing.T) {
+	team := NewTeam(5)
+	const n = 777
+	var hits [n]int32
+	team.ParallelForDynamic(n, 10, func(i, th int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForDynamicIrregularLoad(t *testing.T) {
+	// With one pathological index, dynamic scheduling must still visit
+	// every index exactly once (and not deadlock).
+	team := NewTeam(4)
+	var total int32
+	team.ParallelForDynamic(64, 1, func(i, th int) {
+		if i == 0 {
+			for j := 0; j < 100000; j++ {
+				_ = j * j
+			}
+		}
+		atomic.AddInt32(&total, 1)
+	})
+	if total != 64 {
+		t.Fatalf("visited %d, want 64", total)
+	}
+}
+
+func TestParallelForDynamicEdges(t *testing.T) {
+	team := NewTeam(3)
+	ran := false
+	team.ParallelForDynamic(0, 4, func(i, th int) { ran = true })
+	if ran {
+		t.Fatal("body ran for empty range")
+	}
+	var n int32
+	team.ParallelForDynamic(5, 0, func(i, th int) { atomic.AddInt32(&n, 1) }) // chunk clamps to 1
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestParallelSum(t *testing.T) {
+	team := NewTeam(5)
+	got := team.ParallelSum(100, func(i int) float64 { return float64(i) })
+	if got != 4950 {
+		t.Fatalf("sum = %v, want 4950", got)
+	}
+	if team.ParallelSum(0, func(int) float64 { return 1 }) != 0 {
+		t.Fatal("empty sum != 0")
+	}
+}
+
+// Property: ParallelSum equals the serial sum for any team size and n.
+func TestParallelSumProperty(t *testing.T) {
+	prop := func(threads8 uint8, n16 uint16) bool {
+		threads := int(threads8%16) + 1
+		n := int(n16 % 500)
+		team := NewTeam(threads)
+		got := team.ParallelSum(n, func(i int) float64 { return float64(i * i) })
+		var want float64
+		for i := 0; i < n; i++ {
+			want += float64(i * i)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

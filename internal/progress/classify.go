@@ -1,0 +1,99 @@
+package progress
+
+import (
+	"progresscap/internal/stats"
+)
+
+// Behavior describes the shape of an online-performance series, matching
+// the characterization in the paper's Fig 1: LAMMPS/STREAM are steady,
+// AMG fluctuates around a level, QMCPACK shows distinct phased levels.
+type Behavior int
+
+const (
+	// Steady: the metric holds one consistent level.
+	Steady Behavior = iota
+	// Fluctuating: one level with substantial noise that "needs to be
+	// averaged out" (the paper's description of AMG).
+	Fluctuating
+	// Phased: two or more sustained, clearly separated levels.
+	Phased
+)
+
+func (b Behavior) String() string {
+	switch b {
+	case Steady:
+		return "steady"
+	case Fluctuating:
+		return "fluctuating"
+	case Phased:
+		return "phased"
+	default:
+		return "unknown"
+	}
+}
+
+// classification tuning.
+const (
+	steadyCV        = 0.05 // coefficient of variation below which a segment is steady
+	segmentRelTol   = 0.20 // a value within ±20% of the running segment mean extends it
+	phaseMinLen     = 5    // sustained segments need at least this many samples
+	phaseLevelRatio = 1.30 // two segment means this far apart are distinct levels
+)
+
+// Classify analyses a series of per-window rates. Zero-rate samples are
+// ignored (they are reporting artifacts, not application behaviour — see
+// Monitor.Flush). Fewer than four usable samples classify as Steady.
+func Classify(rates []float64) Behavior {
+	var vals []float64
+	for _, v := range rates {
+		if v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < 4 {
+		return Steady
+	}
+
+	// Segment into runs of similar level.
+	type segment struct {
+		mean float64
+		n    int
+	}
+	var segs []segment
+	cur := segment{mean: vals[0], n: 1}
+	for _, v := range vals[1:] {
+		lo, hi := cur.mean*(1-segmentRelTol), cur.mean*(1+segmentRelTol)
+		if v >= lo && v <= hi {
+			cur.mean = (cur.mean*float64(cur.n) + v) / float64(cur.n+1)
+			cur.n++
+			continue
+		}
+		segs = append(segs, cur)
+		cur = segment{mean: v, n: 1}
+	}
+	segs = append(segs, cur)
+
+	// Two sustained segments at clearly different levels → phased.
+	var sustained []segment
+	for _, s := range segs {
+		if s.n >= phaseMinLen {
+			sustained = append(sustained, s)
+		}
+	}
+	for i := 0; i < len(sustained); i++ {
+		for j := i + 1; j < len(sustained); j++ {
+			a, b := sustained[i].mean, sustained[j].mean
+			if a > b {
+				a, b = b, a
+			}
+			if a > 0 && b/a >= phaseLevelRatio {
+				return Phased
+			}
+		}
+	}
+
+	if stats.CoefVar(vals) < steadyCV {
+		return Steady
+	}
+	return Fluctuating
+}

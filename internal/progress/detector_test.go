@@ -1,0 +1,119 @@
+package progress
+
+import (
+	"math"
+	"testing"
+)
+
+func feed(t *testing.T, d *PhaseDetector, vals []float64) int {
+	t.Helper()
+	changes := 0
+	for _, v := range vals {
+		if d.Offer(v) {
+			changes++
+		}
+	}
+	return changes
+}
+
+func TestDetectorValidation(t *testing.T) {
+	if _, err := NewPhaseDetector(0, 3); err == nil {
+		t.Fatal("relTol 0 accepted")
+	}
+	if _, err := NewPhaseDetector(1.5, 3); err == nil {
+		t.Fatal("relTol 1.5 accepted")
+	}
+	if _, err := NewPhaseDetector(0.2, 0); err == nil {
+		t.Fatal("minLen 0 accepted")
+	}
+}
+
+func TestDetectorSteadyNoChanges(t *testing.T) {
+	d, _ := NewPhaseDetector(0.2, 3)
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 1080 + float64(i%5) // tiny wobble
+	}
+	if n := feed(t, d, vals); n != 0 {
+		t.Fatalf("steady stream produced %d changes", n)
+	}
+	if math.Abs(d.Level()-1082) > 2 {
+		t.Fatalf("level = %v", d.Level())
+	}
+}
+
+func TestDetectorQMCPACKPhases(t *testing.T) {
+	d, _ := NewPhaseDetector(0.2, 3)
+	var vals []float64
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 8)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 12)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 16)
+	}
+	if n := feed(t, d, vals); n != 2 {
+		t.Fatalf("three-phase stream produced %d changes, want 2", n)
+	}
+	ch := d.Changes()
+	if ch[0].Sample != 10 || math.Abs(ch[0].OldLevel-8) > 0.5 || math.Abs(ch[0].NewLevel-12) > 0.5 {
+		t.Fatalf("first change = %+v", ch[0])
+	}
+	if ch[1].Sample != 20 || math.Abs(ch[1].NewLevel-16) > 0.5 {
+		t.Fatalf("second change = %+v", ch[1])
+	}
+}
+
+func TestDetectorTransientForgiven(t *testing.T) {
+	d, _ := NewPhaseDetector(0.2, 3)
+	// Two outliers (below minLen) then back on level: no change.
+	vals := []float64{10, 10, 10, 20, 20, 10, 10, 10, 10}
+	if n := feed(t, d, vals); n != 0 {
+		t.Fatalf("transient produced %d changes", n)
+	}
+}
+
+func TestDetectorIgnoresZeroArtifacts(t *testing.T) {
+	d, _ := NewPhaseDetector(0.2, 3)
+	vals := []float64{100, 0, 100, 0, 0, 100, 100, 0, 100}
+	if n := feed(t, d, vals); n != 0 {
+		t.Fatalf("zero artifacts produced %d changes", n)
+	}
+	if d.Level() != 100 {
+		t.Fatalf("level = %v", d.Level())
+	}
+}
+
+func TestDetectorAMGNoisyNoChanges(t *testing.T) {
+	d, _ := NewPhaseDetector(0.25, 3)
+	var vals []float64
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			vals = append(vals, 2.5)
+		} else {
+			vals = append(vals, 3.0)
+		}
+	}
+	if n := feed(t, d, vals); n != 0 {
+		t.Fatalf("AMG-style noise produced %d changes", n)
+	}
+}
+
+func TestDetectorDownwardShift(t *testing.T) {
+	d, _ := NewPhaseDetector(0.2, 2)
+	var vals []float64
+	for i := 0; i < 8; i++ {
+		vals = append(vals, 800000)
+	}
+	for i := 0; i < 8; i++ {
+		vals = append(vals, 520000) // the step-cap regime of Fig 3
+	}
+	if n := feed(t, d, vals); n != 1 {
+		t.Fatalf("downward shift produced %d changes, want 1", n)
+	}
+	if d.Changes()[0].NewLevel > d.Changes()[0].OldLevel {
+		t.Fatal("change direction wrong")
+	}
+}

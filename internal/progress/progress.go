@@ -1,0 +1,229 @@
+// Package progress implements the paper's central abstraction: an
+// application-specific *online performance* metric published at runtime
+// (§III). It provides the report wire format, the source-side Reporter
+// the instrumented applications use, the Monitor that aggregates raw
+// reports into per-second online-performance values (§IV-B), and the
+// category taxonomy from Table V.
+package progress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Category classifies applications by how well online performance can be
+// defined for them (§III-B).
+type Category int
+
+const (
+	// Category1: a clear online-performance metric exists and correlates
+	// with the scientific goal (QMCPACK, OpenMC, LAMMPS, STREAM).
+	Category1 Category = 1
+	// Category2: online performance is well defined but does not reveal
+	// how far the application is from its goal (AMG, CANDLE training).
+	Category2 Category = 2
+	// Category3: no single reliable metric exists (URBAN, Nek5000, HACC).
+	Category3 Category = 3
+)
+
+func (c Category) String() string {
+	switch c {
+	case Category1:
+		return "1"
+	case Category2:
+		return "2"
+	case Category3:
+		return "3"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Topic returns the pub/sub topic progress reports for app are published
+// on.
+func Topic(app string) string { return "progress." + app }
+
+// Report is one raw progress publication: the application completed
+// Value metric units (e.g. one block, 40000 atom-timesteps) at virtual
+// time At, while in the named phase.
+type Report struct {
+	App   string
+	Phase string
+	Value float64
+	At    time.Duration
+}
+
+// Marshal encodes the report into a compact binary payload.
+func (r Report) Marshal() []byte {
+	buf := make([]byte, 0, 18+len(r.App)+len(r.Phase))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(r.Value))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(r.At))
+	buf = append(buf, tmp[:]...)
+	if len(r.App) > 255 || len(r.Phase) > 255 {
+		panic("progress: name longer than 255 bytes")
+	}
+	buf = append(buf, byte(len(r.App)))
+	buf = append(buf, r.App...)
+	buf = append(buf, byte(len(r.Phase)))
+	buf = append(buf, r.Phase...)
+	return buf
+}
+
+// UnmarshalReport decodes a payload produced by Marshal.
+func UnmarshalReport(b []byte) (Report, error) {
+	if len(b) < 18 {
+		return Report{}, fmt.Errorf("progress: payload too short (%d bytes)", len(b))
+	}
+	var r Report
+	r.Value = math.Float64frombits(binary.BigEndian.Uint64(b[0:8]))
+	r.At = time.Duration(binary.BigEndian.Uint64(b[8:16]))
+	pos := 16
+	appLen := int(b[pos])
+	pos++
+	if pos+appLen+1 > len(b) {
+		return Report{}, fmt.Errorf("progress: truncated app name")
+	}
+	r.App = string(b[pos : pos+appLen])
+	pos += appLen
+	phaseLen := int(b[pos])
+	pos++
+	if pos+phaseLen > len(b) {
+		return Report{}, fmt.Errorf("progress: truncated phase name")
+	}
+	r.Phase = string(b[pos : pos+phaseLen])
+	return r, nil
+}
+
+// Publisher is the subset of the pub/sub layer a Reporter needs.
+type Publisher interface {
+	PublishPayload(topic string, payload []byte) int
+}
+
+// Reporter is the instrumentation half: the application calls Publish for
+// every completed unit of work (timestep, block, batch, GMRES iteration).
+// Publishing is lossy and non-blocking, like the paper's ZeroMQ sockets.
+type Reporter struct {
+	app   string
+	pub   Publisher
+	sent  uint64
+	topic string
+}
+
+// NewReporter returns a reporter for the named application.
+func NewReporter(app string, pub Publisher) *Reporter {
+	return &Reporter{app: app, pub: pub, topic: Topic(app)}
+}
+
+// Publish emits one progress report.
+func (r *Reporter) Publish(phase string, value float64, at time.Duration) {
+	r.sent++
+	r.pub.PublishPayload(r.topic, Report{App: r.app, Phase: phase, Value: value, At: at}.Marshal())
+}
+
+// Sent returns how many reports have been published.
+func (r *Reporter) Sent() uint64 { return r.sent }
+
+// Sample is one aggregated online-performance observation: metric units
+// per second over one aggregation window.
+type Sample struct {
+	At      time.Duration // end of the window
+	Rate    float64       // metric units per second
+	Reports int           // raw reports aggregated into this sample
+	Phase   string        // phase of the last report in the window ("" if none)
+}
+
+// Monitor aggregates raw reports into per-second online performance, the
+// way the paper's framework "collect[s] and average[s] once every
+// second". It is fed raw reports (from a bus subscription drain) and
+// closed out once per window by Flush.
+type Monitor struct {
+	window    time.Duration
+	pending   []Report
+	samples   []Sample
+	total     float64
+	reports   uint64
+	lastFlush time.Duration
+}
+
+// NewMonitor returns a monitor aggregating over the given window
+// (the paper uses one second).
+func NewMonitor(window time.Duration) *Monitor {
+	if window <= 0 {
+		panic("progress: non-positive aggregation window")
+	}
+	return &Monitor{window: window}
+}
+
+// Window returns the aggregation window.
+func (m *Monitor) Window() time.Duration { return m.window }
+
+// Offer feeds one raw report into the current window.
+func (m *Monitor) Offer(r Report) {
+	m.pending = append(m.pending, r)
+	m.total += r.Value
+	m.reports++
+}
+
+// Flush closes the window ending at now and records its Sample. Windows
+// with no reports record a zero rate — exactly the artifact the paper
+// observes for OpenMC, whose batch duration aliases against the
+// aggregation window. The rate divisor is the actual time since the
+// previous flush (so a partial final window is not under-reported),
+// falling back to the nominal window for the first flush at or before
+// one window of elapsed time.
+func (m *Monitor) Flush(now time.Duration) Sample {
+	elapsed := (now - m.lastFlush).Seconds()
+	if elapsed <= 0 {
+		elapsed = m.window.Seconds()
+	}
+	m.lastFlush = now
+	var sum float64
+	phase := ""
+	for _, r := range m.pending {
+		sum += r.Value
+		phase = r.Phase
+	}
+	s := Sample{
+		At:      now,
+		Rate:    sum / elapsed,
+		Reports: len(m.pending),
+		Phase:   phase,
+	}
+	m.pending = m.pending[:0]
+	m.samples = append(m.samples, s)
+	return s
+}
+
+// Samples returns every recorded sample.
+func (m *Monitor) Samples() []Sample { return m.samples }
+
+// Rates returns just the per-window rates.
+func (m *Monitor) Rates() []float64 {
+	out := make([]float64, len(m.samples))
+	for i, s := range m.samples {
+		out[i] = s.Rate
+	}
+	return out
+}
+
+// TotalUnits returns the sum of all report values seen.
+func (m *Monitor) TotalUnits() float64 { return m.total }
+
+// Reports returns the raw report count seen.
+func (m *Monitor) Reports() uint64 { return m.reports }
+
+// MeanRate returns total units divided by observed time (n windows).
+func (m *Monitor) MeanRate() float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range m.samples {
+		sum += s.Rate
+	}
+	return sum / float64(len(m.samples))
+}

@@ -1,0 +1,134 @@
+package pubsub
+
+import (
+	"sync"
+)
+
+// Bus is the in-process broker. It is safe for concurrent use, though the
+// deterministic simulation engine drives it from a single goroutine.
+type Bus struct {
+	mu        sync.Mutex
+	subs      map[*Subscription]struct{}
+	published uint64
+	dropped   uint64
+}
+
+// Subscription receives messages whose topic matches its prefix. Messages
+// are buffered; when the buffer is full, new messages for this
+// subscription are dropped (ZeroMQ PUB/SUB semantics).
+type Subscription struct {
+	bus     *Bus
+	prefix  string
+	ch      chan Message
+	mu      sync.Mutex
+	dropped uint64
+	closed  bool
+}
+
+// NewBus returns an empty broker.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*Subscription]struct{})}
+}
+
+// Subscribe registers interest in topics beginning with prefix. The empty
+// prefix receives everything. buffer is the subscription queue depth; it
+// must be at least 1.
+func (b *Bus) Subscribe(prefix string, buffer int) *Subscription {
+	if buffer < 1 {
+		panic("pubsub: subscription buffer must be >= 1")
+	}
+	s := &Subscription{bus: b, prefix: prefix, ch: make(chan Message, buffer)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Publish delivers m to every matching subscription without blocking.
+// It returns the number of subscriptions that accepted the message.
+func (b *Bus) Publish(m Message) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.published++
+	delivered := 0
+	for s := range b.subs {
+		if !m.MatchesPrefix(s.prefix) {
+			continue
+		}
+		select {
+		case s.ch <- m:
+			delivered++
+		default:
+			b.dropped++
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+		}
+	}
+	return delivered
+}
+
+// Stats returns the total messages published to the bus and the total
+// drops across all subscriptions.
+func (b *Bus) Stats() (published, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.dropped
+}
+
+// C returns the subscription's receive channel. The channel is closed by
+// Close.
+func (s *Subscription) C() <-chan Message { return s.ch }
+
+// TryRecv returns the next buffered message without blocking. ok is false
+// when the buffer is empty.
+func (s *Subscription) TryRecv() (Message, bool) {
+	select {
+	case m, open := <-s.ch:
+		if !open {
+			return Message{}, false
+		}
+		return m, true
+	default:
+		return Message{}, false
+	}
+}
+
+// DrainInto appends every currently buffered message to dst and returns
+// the extended slice.
+func (s *Subscription) DrainInto(dst []Message) []Message {
+	for {
+		m, ok := s.TryRecv()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, m)
+	}
+}
+
+// Dropped returns how many messages this subscription lost to a full
+// buffer.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Prefix returns the subscription's topic prefix.
+func (s *Subscription) Prefix() string { return s.prefix }
+
+// Close unregisters the subscription and closes its channel. Close is
+// idempotent.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	_, registered := s.bus.subs[s]
+	delete(s.bus.subs, s)
+	s.bus.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed && registered {
+		close(s.ch)
+	}
+	s.closed = true
+}

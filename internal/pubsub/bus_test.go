@@ -1,0 +1,121 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBusDeliversToMatchingSubscribers(t *testing.T) {
+	b := NewBus()
+	all := b.Subscribe("", 10)
+	lammps := b.Subscribe("progress.lammps", 10)
+	power := b.Subscribe("power.", 10)
+
+	n := b.Publish(Message{Topic: "progress.lammps", Payload: []byte("1")})
+	if n != 2 {
+		t.Fatalf("delivered to %d subs, want 2", n)
+	}
+	if m, ok := all.TryRecv(); !ok || m.Topic != "progress.lammps" {
+		t.Fatalf("all-sub recv = %v,%v", m, ok)
+	}
+	if _, ok := lammps.TryRecv(); !ok {
+		t.Fatal("prefix sub missed matching message")
+	}
+	if _, ok := power.TryRecv(); ok {
+		t.Fatal("non-matching sub received message")
+	}
+}
+
+func TestBusDropsOnFullBuffer(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("", 2)
+	for i := 0; i < 5; i++ {
+		b.Publish(Message{Topic: "t"})
+	}
+	if s.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", s.Dropped())
+	}
+	pub, drop := b.Stats()
+	if pub != 5 || drop != 3 {
+		t.Fatalf("Stats = %d,%d, want 5,3", pub, drop)
+	}
+	got := s.DrainInto(nil)
+	if len(got) != 2 {
+		t.Fatalf("drained %d, want 2", len(got))
+	}
+}
+
+func TestBusTryRecvEmpty(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("", 1)
+	if _, ok := s.TryRecv(); ok {
+		t.Fatal("TryRecv on empty buffer returned ok")
+	}
+}
+
+func TestBusCloseUnregisters(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("", 1)
+	s.Close()
+	if n := b.Publish(Message{Topic: "t"}); n != 0 {
+		t.Fatalf("delivered to closed sub: %d", n)
+	}
+	// channel closed: receive yields not-ok
+	if _, open := <-s.C(); open {
+		t.Fatal("channel still open after Close")
+	}
+	s.Close() // idempotent: must not panic
+}
+
+func TestBusBadBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Subscribe(buffer=0) did not panic")
+		}
+	}()
+	NewBus().Subscribe("", 0)
+}
+
+func TestBusManySubscribers(t *testing.T) {
+	b := NewBus()
+	subs := make([]*Subscription, 20)
+	for i := range subs {
+		subs[i] = b.Subscribe(fmt.Sprintf("app.%d.", i), 5)
+	}
+	for i := 0; i < 20; i++ {
+		b.Publish(Message{Topic: fmt.Sprintf("app.%d.progress", i), Payload: []byte{byte(i)}})
+	}
+	for i, s := range subs {
+		m, ok := s.TryRecv()
+		if !ok || m.Payload[0] != byte(i) {
+			t.Fatalf("sub %d got %v,%v", i, m, ok)
+		}
+		if _, ok := s.TryRecv(); ok {
+			t.Fatalf("sub %d received cross-topic message", i)
+		}
+	}
+}
+
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("", 10000)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				b.Publish(Message{Topic: "t"})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	pub, drop := b.Stats()
+	if pub != 800 || drop != 0 {
+		t.Fatalf("Stats = %d,%d, want 800,0", pub, drop)
+	}
+	if got := len(s.DrainInto(nil)); got != 800 {
+		t.Fatalf("received %d, want 800", got)
+	}
+}

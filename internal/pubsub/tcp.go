@@ -1,0 +1,246 @@
+package pubsub
+
+import (
+	"net"
+	"sync"
+)
+
+// Control topic used on the wire by subscribers to register prefixes.
+// Data topics never collide with it because it carries a NUL prefix.
+const subscribeTopic = "\x00subscribe"
+
+// Publisher is the TCP PUB socket: it accepts subscriber connections and
+// fans published messages out to those whose registered prefixes match.
+// Slow subscribers drop messages rather than backpressure the publisher.
+type Publisher struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*pubConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type pubConn struct {
+	conn net.Conn
+	out  chan Message
+
+	mu       sync.Mutex
+	prefixes []string
+	dropped  uint64
+}
+
+// NewPublisher starts a publisher listening on addr (e.g. "127.0.0.1:0").
+func NewPublisher(addr string) (*Publisher, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Publisher{ln: ln, conns: make(map[*pubConn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the publisher's listen address.
+func (p *Publisher) Addr() string { return p.ln.Addr().String() }
+
+func (p *Publisher) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		pc := &pubConn{conn: conn, out: make(chan Message, 1024)}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[pc] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.readLoop(pc)
+		go p.writeLoop(pc)
+	}
+}
+
+// readLoop consumes subscribe frames from the subscriber.
+func (p *Publisher) readLoop(pc *pubConn) {
+	defer p.wg.Done()
+	defer p.dropConn(pc)
+	for {
+		m, err := ReadFrame(pc.conn)
+		if err != nil {
+			return
+		}
+		if m.Topic == subscribeTopic {
+			pc.mu.Lock()
+			pc.prefixes = append(pc.prefixes, string(m.Payload))
+			pc.mu.Unlock()
+		}
+	}
+}
+
+func (p *Publisher) writeLoop(pc *pubConn) {
+	defer p.wg.Done()
+	for m := range pc.out {
+		if err := WriteFrame(pc.conn, m); err != nil {
+			p.dropConn(pc)
+			// Drain remaining queued messages so Publish never blocks.
+			for range pc.out {
+			}
+			return
+		}
+	}
+}
+
+func (p *Publisher) dropConn(pc *pubConn) {
+	p.mu.Lock()
+	_, live := p.conns[pc]
+	delete(p.conns, pc)
+	p.mu.Unlock()
+	if live {
+		pc.conn.Close()
+		close(pc.out)
+	}
+}
+
+func (pc *pubConn) matches(topic string) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for _, pre := range pc.prefixes {
+		if len(topic) >= len(pre) && topic[:len(pre)] == pre {
+			return true
+		}
+	}
+	return false
+}
+
+// Publish fans m out to matching subscribers without blocking. It returns
+// the number of subscriber queues that accepted the message.
+func (p *Publisher) Publish(m Message) int {
+	p.mu.Lock()
+	conns := make([]*pubConn, 0, len(p.conns))
+	for pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	p.mu.Unlock()
+
+	delivered := 0
+	for _, pc := range conns {
+		if !pc.matches(m.Topic) {
+			continue
+		}
+		select {
+		case pc.out <- m:
+			delivered++
+		default:
+			pc.mu.Lock()
+			pc.dropped++
+			pc.mu.Unlock()
+		}
+	}
+	return delivered
+}
+
+// NumSubscribers returns the number of live subscriber connections.
+func (p *Publisher) NumSubscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Close stops the publisher and disconnects all subscribers.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]*pubConn, 0, len(p.conns))
+	for pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	p.mu.Unlock()
+
+	err := p.ln.Close()
+	for _, pc := range conns {
+		p.dropConn(pc)
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Subscriber is the TCP SUB socket: it dials a Publisher, registers topic
+// prefixes, and exposes received messages on a channel.
+type Subscriber struct {
+	conn net.Conn
+	ch   chan Message
+
+	mu     sync.Mutex
+	wmu    sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Dial connects to a Publisher at addr and subscribes to the given
+// prefixes. At least one prefix is required ("" subscribes to everything).
+func Dial(addr string, prefixes ...string) (*Subscriber, error) {
+	if len(prefixes) == 0 {
+		prefixes = []string{""}
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscriber{conn: conn, ch: make(chan Message, 1024), done: make(chan struct{})}
+	for _, pre := range prefixes {
+		if err := s.Subscribe(pre); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// Subscribe registers an additional topic prefix.
+func (s *Subscriber) Subscribe(prefix string) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return WriteFrame(s.conn, Message{Topic: subscribeTopic, Payload: []byte(prefix)})
+}
+
+func (s *Subscriber) readLoop() {
+	defer close(s.ch)
+	defer close(s.done)
+	for {
+		m, err := ReadFrame(s.conn)
+		if err != nil {
+			return
+		}
+		s.ch <- m
+	}
+}
+
+// C returns the receive channel; it is closed when the connection drops or
+// Close is called.
+func (s *Subscriber) C() <-chan Message { return s.ch }
+
+// Close disconnects the subscriber and waits for the read loop to exit.
+func (s *Subscriber) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	<-s.done
+	return err
+}

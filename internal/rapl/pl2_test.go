@@ -1,0 +1,114 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"progresscap/internal/msr"
+)
+
+func TestPowerLimitsDualRoundTrip(t *testing.T) {
+	u := msr.DefaultUnits()
+	in1 := msr.PowerLimit{Watts: 100, Enabled: true, Clamp: true, WindowSeconds: 0.01}
+	in2 := msr.PowerLimit{Watts: 120, Enabled: true, Clamp: true, WindowSeconds: 0.0025}
+	raw := msr.EncodePowerLimits(in1, in2, u)
+	out1, out2 := msr.DecodePowerLimits(raw, u)
+	if math.Abs(out1.Watts-100) > 0.2 || math.Abs(out2.Watts-120) > 0.2 {
+		t.Fatalf("watts = %v, %v", out1.Watts, out2.Watts)
+	}
+	if !out1.Enabled || !out2.Enabled {
+		t.Fatal("enables lost")
+	}
+	if out2.WindowSeconds >= out1.WindowSeconds {
+		t.Fatalf("PL2 window %v not shorter than PL1 %v", out2.WindowSeconds, out1.WindowSeconds)
+	}
+}
+
+func TestWriteLimitProgramsBothWindows(t *testing.T) {
+	r := newRig(t)
+	if err := WriteLimit(r.dev, 100, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, err := r.ctl.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl1.Watts-100) > 0.5 {
+		t.Fatalf("PL1 = %v", pl1.Watts)
+	}
+	if !pl2.Enabled || math.Abs(pl2.Watts-120) > 0.5 {
+		t.Fatalf("PL2 = %+v, want 120 W enabled", pl2)
+	}
+}
+
+func TestWriteLimitsExplicit(t *testing.T) {
+	r := newRig(t)
+	if err := WriteLimits(r.dev, 90, 10*time.Millisecond, 150, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, err := r.ctl.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl1.Watts-90) > 0.5 || math.Abs(pl2.Watts-150) > 0.5 {
+		t.Fatalf("limits = %v, %v", pl1.Watts, pl2.Watts)
+	}
+}
+
+func TestUncappedDisablesBothWindows(t *testing.T) {
+	r := newRig(t)
+	if err := WriteLimit(r.dev, 0, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, err := r.ctl.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1.Enabled || pl2.Enabled {
+		t.Fatalf("uncapped left limits enabled: %+v, %+v", pl1, pl2)
+	}
+}
+
+// TestPL2ClampsBurst: with a PL2 barely above the PL1 and a workload
+// that would overshoot during the controller's settling, the burst
+// clamp must keep the fast average near PL2 even in the first
+// milliseconds after the cap lands.
+func TestPL2ClampsBurst(t *testing.T) {
+	r := newRig(t)
+	// Sustained 100 W, burst no more than 110 W.
+	if err := WriteLimits(r.dev, 100, 10*time.Millisecond, 110, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the loop and record the worst fast-average overshoot after
+	// the first few control periods.
+	worst := 0.0
+	dt := time.Millisecond
+	for i := 0; i < 400; i++ {
+		r.runSteady(1, 1, 0.05)
+		_ = dt
+		if i > 5 && r.ctl.fastAvgW > worst {
+			worst = r.ctl.fastAvgW
+		}
+	}
+	if worst > 110*1.10 {
+		t.Fatalf("fast average reached %v W with a 110 W PL2", worst)
+	}
+	// Steady state still respects PL1.
+	avg := r.runSteady(3000, 1, 0.05)
+	if avg > 100*1.05 {
+		t.Fatalf("steady average %v exceeds PL1", avg)
+	}
+}
+
+func TestPL2InactiveWhenAbovePL1Headroom(t *testing.T) {
+	// Default WriteLimit PL2 (1.2×) must not disturb steady enforcement.
+	r := newRig(t)
+	if err := WriteLimit(r.dev, 120, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	avg := r.runSteady(3000, 1, 0.05)
+	if avg < 120*0.90 || avg > 120*1.03 {
+		t.Fatalf("steady average %v not tracking the 120 W PL1", avg)
+	}
+}

@@ -1,0 +1,66 @@
+package rapl
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/simtime"
+)
+
+// TestCapComplianceAcrossProfiles sweeps randomized application profiles
+// (activity, bandwidth demand) and cap levels, asserting two invariants
+// of the controller:
+//
+//  1. compliance: the converged running-average power never exceeds the
+//     cap by more than 10% (RAPL guarantees the average);
+//  2. utilization: for caps above the package floor, the controller uses
+//     at least 80% of its budget (the paper's Eq. 6 observation that a
+//     capped application uses all the power given to it).
+func TestCapComplianceAcrossProfiles(t *testing.T) {
+	rng := simtime.NewRNG(2024)
+	const floorW = 45 // package floor ≈ 38.5 W + margin
+	for trial := 0; trial < 25; trial++ {
+		activity := 0.2 + 0.8*rng.Float64()
+		bwDemand := rng.Float64()
+		capW := 50 + 130*rng.Float64()
+
+		r := newRig(t)
+		if err := WriteLimit(r.dev, capW, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		avg := r.runSteady(4000, activity, bwDemand)
+
+		if avg > capW*1.10 {
+			t.Errorf("trial %d (act=%.2f bw=%.2f cap=%.0f): average %.1f W breaches the cap",
+				trial, activity, bwDemand, capW, avg)
+		}
+		if capW > floorW && avg < capW*0.80 {
+			t.Errorf("trial %d (act=%.2f bw=%.2f cap=%.0f): average %.1f W leaves budget unused",
+				trial, activity, bwDemand, capW, avg)
+		}
+	}
+}
+
+// TestFrequencyMonotoneInCapAcrossProfiles: for a fixed application
+// profile, a tighter cap never grants a higher frequency.
+func TestFrequencyMonotoneInCapAcrossProfiles(t *testing.T) {
+	profiles := []struct{ act, bw float64 }{
+		{1.0, 0.05}, {0.6, 0.4}, {0.37, 1.0},
+	}
+	for _, p := range profiles {
+		prevFreq := 1e9
+		for _, capW := range []float64{170, 140, 110, 80, 60} {
+			r := newRig(t)
+			if err := WriteLimit(r.dev, capW, 10*time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			r.runSteady(3000, p.act, p.bw)
+			f := r.domain.CurrentMHz() * r.domain.Duty()
+			if f > prevFreq+1 {
+				t.Errorf("profile %+v: effective frequency rose from %.0f to %.0f as cap tightened to %.0f W",
+					p, prevFreq, f, capW)
+			}
+			prevFreq = f
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", c.Now())
+	}
+	if c.Seconds() != 0 {
+		t.Fatalf("zero clock Seconds() = %v, want 0", c.Seconds())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	if got, want := c.Now(), 1500*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if got := c.Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock(0).Advance(-time.Nanosecond)
+}
+
+func TestClockAdvanceToBackwardsPanics(t *testing.T) {
+	c := NewClock(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	c.AdvanceTo(time.Millisecond)
+}
+
+func TestClockAdvanceToSameInstantOK(t *testing.T) {
+	c := NewClock(time.Second)
+	c.AdvanceTo(time.Second) // no-op, must not panic
+	if c.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", c.Now())
+	}
+}
+
+func TestTickerFiresOnPeriod(t *testing.T) {
+	tk := NewTicker(0, time.Second)
+	if tk.FiredAt(999 * time.Millisecond) {
+		t.Fatal("ticker fired before first period elapsed")
+	}
+	if !tk.FiredAt(time.Second) {
+		t.Fatal("ticker did not fire at exactly one period")
+	}
+	if tk.FiredAt(1500 * time.Millisecond) {
+		t.Fatal("ticker double-fired inside one period")
+	}
+	if !tk.FiredAt(2 * time.Second) {
+		t.Fatal("ticker did not fire at second period")
+	}
+}
+
+func TestTickerCatchUp(t *testing.T) {
+	tk := NewTicker(0, 100*time.Millisecond)
+	if got := tk.CatchUp(time.Second); got != 10 {
+		t.Fatalf("CatchUp(1s) = %d fires, want 10", got)
+	}
+	if got := tk.CatchUp(time.Second); got != 0 {
+		t.Fatalf("second CatchUp(1s) = %d fires, want 0", got)
+	}
+	if got, want := tk.Next(), 1100*time.Millisecond; got != want {
+		t.Fatalf("Next() = %v, want %v", got, want)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker with zero period did not panic")
+		}
+	}()
+	NewTicker(0, 0)
+}
+
+func TestTickerStartOffset(t *testing.T) {
+	tk := NewTicker(5*time.Second, time.Second)
+	if got, want := tk.Next(), 6*time.Second; got != want {
+		t.Fatalf("Next() = %v, want %v", got, want)
+	}
+}

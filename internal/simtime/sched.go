@@ -1,0 +1,106 @@
+package simtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	At time.Duration
+	Fn func(now time.Duration)
+
+	seq int // tie-break so same-time events fire in schedule order
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic event queue over virtual time. Events
+// scheduled for the same instant fire in the order they were scheduled.
+type Scheduler struct {
+	clock *Clock
+	queue eventHeap
+	seq   int
+}
+
+// NewScheduler returns a scheduler driving the given clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the clock the scheduler advances.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics, as it would silently reorder causality.
+func (s *Scheduler) At(t time.Duration, fn func(now time.Duration)) {
+	if t < s.clock.Now() {
+		panic("simtime: event scheduled in the past")
+	}
+	s.seq++
+	heap.Push(&s.queue, &Event{At: t, Fn: fn, seq: s.seq})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d time.Duration, fn func(now time.Duration)) {
+	s.At(s.clock.Now()+d, fn)
+}
+
+// Step runs the next pending event, advancing the clock to its time.
+// It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.clock.AdvanceTo(e.At)
+	e.Fn(e.At)
+	return true
+}
+
+// RunUntil runs events up to and including limit, advancing the clock to
+// limit at the end even if no event lands exactly there. It returns the
+// number of events executed.
+func (s *Scheduler) RunUntil(limit time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 && s.queue[0].At <= limit {
+		s.Step()
+		n++
+	}
+	if s.clock.Now() < limit {
+		s.clock.AdvanceTo(limit)
+	}
+	return n
+}
+
+// Drain runs every pending event in order. It returns the number executed.
+// Events may schedule further events; Drain keeps going until the queue is
+// empty.
+func (s *Scheduler) Drain() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}

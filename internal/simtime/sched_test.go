@@ -1,0 +1,118 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdersEvents(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	var got []int
+	s.At(3*time.Second, func(time.Duration) { got = append(got, 3) })
+	s.At(1*time.Second, func(time.Duration) { got = append(got, 1) })
+	s.At(2*time.Second, func(time.Duration) { got = append(got, 2) })
+	s.Drain()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if s.Clock().Now() != 3*time.Second {
+		t.Fatalf("clock after drain = %v, want 3s", s.Clock().Now())
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func(time.Duration) { got = append(got, i) })
+	}
+	s.Drain()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler(NewClock(time.Minute))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(time.Second, func(time.Duration) {})
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Second, func(time.Duration) { ran++ })
+	}
+	if n := s.RunUntil(3 * time.Second); n != 3 {
+		t.Fatalf("RunUntil(3s) executed %d events, want 3", n)
+	}
+	if s.Clock().Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", s.Clock().Now())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Len())
+	}
+}
+
+func TestSchedulerRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	s.RunUntil(42 * time.Second)
+	if s.Clock().Now() != 42*time.Second {
+		t.Fatalf("clock = %v, want 42s", s.Clock().Now())
+	}
+}
+
+func TestSchedulerEventsScheduleEvents(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	count := 0
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		count++
+		if count < 5 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(time.Second, tick)
+	s.Drain()
+	if count != 5 {
+		t.Fatalf("chained events ran %d times, want 5", count)
+	}
+	if s.Clock().Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", s.Clock().Now())
+	}
+}
+
+// Property: for any set of non-negative offsets, the scheduler fires
+// events in non-decreasing time order.
+func TestSchedulerOrderProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		s := NewScheduler(NewClock(0))
+		var fired []time.Duration
+		for _, o := range offsets {
+			at := time.Duration(o) * time.Millisecond
+			s.At(at, func(now time.Duration) { fired = append(fired, now) })
+		}
+		s.Drain()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

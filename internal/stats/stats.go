@@ -1,0 +1,198 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness needs: summary moments, percentiles, relative error,
+// and correlation. It is deliberately minimal and allocation-light; the
+// benchmark harness calls these on every sample window.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over xs. An empty input yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies and sorts internally.
+// An empty input returns 0; p is clamped to [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RelErr returns |measured-predicted| / |measured| as a fraction.
+// The paper reports model error this way (relative to the measured value).
+// A zero measured value with nonzero predicted returns +Inf; 0/0 returns 0.
+func RelErr(measured, predicted float64) float64 {
+	diff := math.Abs(measured - predicted)
+	if measured == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return diff / math.Abs(measured)
+}
+
+// RelErrPct returns RelErr as a percentage.
+func RelErrPct(measured, predicted float64) float64 {
+	return 100 * RelErr(measured, predicted)
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It panics if the lengths differ; it returns 0 if either side has zero
+// variance or fewer than two points.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CoefVar returns the coefficient of variation (std/mean) of xs, used to
+// classify progress metrics as "consistent" vs "fluctuating" (Fig 1).
+// A zero mean returns +Inf unless the sample is empty or constant-zero.
+func CoefVar(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		if s.Std == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s.Std / math.Abs(s.Mean)
+}
+
+// MovingAvg returns the centered moving average of xs with the given
+// window width (made odd by rounding up). Edges average over the
+// available neighbors. A width of 1 or less returns a copy of xs.
+func MovingAvg(xs []float64, width int) []float64 {
+	out := make([]float64, len(xs))
+	if width <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := width / 2
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(xs)-1 {
+			hi = len(xs) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Clamp limits v to [lo, hi]. It panics if lo > hi.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("stats: Clamp with lo %v > hi %v", lo, hi))
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1]; t outside the
+// range extrapolates.
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

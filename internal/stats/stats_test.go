@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single Summary = %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean([2,4]) != 3")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(100, 87); !almost(got, 0.13, 1e-12) {
+		t.Fatalf("RelErr(100,87) = %v, want 0.13", got)
+	}
+	if got := RelErrPct(100, 113); !almost(got, 13, 1e-9) {
+		t.Fatalf("RelErrPct(100,113) = %v, want 13", got)
+	}
+	if !math.IsInf(RelErr(0, 1), 1) {
+		t.Fatal("RelErr(0,1) should be +Inf")
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) should be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, []float64{2, 4, 6, 8}); !almost(got, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{8, 6, 4, 2}); !almost(got, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("zero-variance correlation = %v, want 0", got)
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pearson length mismatch did not panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestCoefVar(t *testing.T) {
+	if got := CoefVar([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("constant CoefVar = %v", got)
+	}
+	cv := CoefVar([]float64{1, 3})
+	if !almost(cv, math.Sqrt2/2, 1e-12) {
+		t.Fatalf("CoefVar([1,3]) = %v", cv)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+func TestClampInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clamp(lo>hi) did not panic")
+		}
+	}()
+	Clamp(1, 3, 0)
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(0, 10, 0.5) != 5 || Lerp(10, 20, 0) != 10 || Lerp(10, 20, 1) != 20 {
+		t.Fatal("Lerp wrong")
+	}
+}
+
+// Property: mean is bounded by min and max; std >= 0.
+func TestSummaryBoundsProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0 &&
+			s.Median >= s.Min-1e-9 && s.Median <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson is symmetric and within [-1, 1].
+func TestPearsonRangeProperty(t *testing.T) {
+	prop := func(pairs []struct{ A, B int8 }) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			xs[i] = float64(p.A)
+			ys[i] = float64(p.B)
+		}
+		r := Pearson(xs, ys)
+		r2 := Pearson(ys, xs)
+		return r >= -1-1e-9 && r <= 1+1e-9 && almost(r, r2, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesAddAndAccess(t *testing.T) {
+	s := NewSeries("power", "W")
+	s.Add(0, 100)
+	s.Add(time.Second, 110)
+	s.Add(2*time.Second, 120)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if p := s.At(1); p.T != time.Second || p.V != 110 {
+		t.Fatalf("At(1) = %+v", p)
+	}
+	vs := s.Values()
+	if vs[0] != 100 || vs[2] != 120 {
+		t.Fatalf("Values = %v", vs)
+	}
+	ts := s.Times()
+	if ts[1] != 1 {
+		t.Fatalf("Times = %v", ts)
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	s := NewSeries("x", "")
+	s.Add(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+	}()
+	s.Add(0, 2)
+}
+
+func TestSeriesSameTimeOK(t *testing.T) {
+	s := NewSeries("x", "")
+	s.Add(time.Second, 1)
+	s.Add(time.Second, 2) // equal timestamps are allowed
+	if s.Len() != 2 {
+		t.Fatal("same-time Add rejected")
+	}
+}
+
+func TestSeriesValueAt(t *testing.T) {
+	s := NewSeries("cap", "W")
+	s.Add(time.Second, 200)
+	s.Add(3*time.Second, 150)
+	if _, ok := s.ValueAt(500 * time.Millisecond); ok {
+		t.Fatal("ValueAt before first sample returned ok")
+	}
+	if v, ok := s.ValueAt(time.Second); !ok || v != 200 {
+		t.Fatalf("ValueAt(1s) = %v,%v", v, ok)
+	}
+	if v, _ := s.ValueAt(2 * time.Second); v != 200 {
+		t.Fatalf("ValueAt(2s) = %v, want 200 (step hold)", v)
+	}
+	if v, _ := s.ValueAt(10 * time.Second); v != 150 {
+		t.Fatalf("ValueAt(10s) = %v, want 150", v)
+	}
+}
+
+func TestSeriesSliceAndMean(t *testing.T) {
+	s := NewSeries("x", "")
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	pts := s.Slice(2*time.Second, 5*time.Second)
+	if len(pts) != 3 || pts[0].V != 2 || pts[2].V != 4 {
+		t.Fatalf("Slice = %v", pts)
+	}
+	m, ok := s.MeanBetween(2*time.Second, 5*time.Second)
+	if !ok || m != 3 {
+		t.Fatalf("MeanBetween = %v,%v", m, ok)
+	}
+	if _, ok := s.MeanBetween(100*time.Second, 200*time.Second); ok {
+		t.Fatal("MeanBetween over empty window returned ok")
+	}
+}
+
+func TestSeriesResample(t *testing.T) {
+	s := NewSeries("x", "")
+	s.Add(0, 10)
+	s.Add(time.Second, 20)
+	// gap at [2s,3s): should hold previous value
+	s.Add(3*time.Second, 40)
+	out := s.Resample(0, 4*time.Second, time.Second)
+	want := []float64{10, 20, 20, 40}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Resample = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestSeriesResampleBadStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resample step=0 did not panic")
+		}
+	}()
+	NewSeries("x", "").Resample(0, time.Second, 0)
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("Sparkline(nil) != empty")
+	}
+	sp := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(sp)) != 4 {
+		t.Fatalf("Sparkline length = %d", len([]rune(sp)))
+	}
+	if Sparkline([]float64{5, 5, 5}) != "▁▁▁" {
+		t.Fatalf("constant Sparkline = %q", Sparkline([]float64{5, 5, 5}))
+	}
+	rs := []rune(Sparkline([]float64{0, 10}))
+	if rs[0] != '▁' || rs[1] != '█' {
+		t.Fatalf("extremes Sparkline = %q", string(rs))
+	}
+}
+
+// Property: Resample output length matches ceil((to-from)/step) and every
+// bucket value lies within [min, max] of the series (or 0 before data).
+func TestResampleBoundsProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		s := NewSeries("p", "")
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			f := float64(v)
+			s.Add(time.Duration(i)*100*time.Millisecond, f)
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		out := s.Resample(0, 3*time.Second, 250*time.Millisecond)
+		if len(out) != 12 {
+			return false
+		}
+		for _, v := range out {
+			if v == 0 && len(raw) == 0 {
+				continue
+			}
+			if len(raw) > 0 && (v < lo-1e-9 || v > hi+1e-9) {
+				// buckets before any data hold 0, allowed when first sample later than bucket
+				if v == 0 {
+					continue
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table I", "App", "Value")
+	tb.AddRow("LAMMPS", "1.00")
+	tb.AddRowf("STREAM", 0.37)
+	out := tb.Render()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "LAMMPS") || !strings.Contains(out, "0.37") {
+		t.Fatalf("Render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("Render produced %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")
+	if !strings.Contains(tb.Render(), "x") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestTableLongRowPanics(t *testing.T) {
+	tb := NewTable("", "A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-wide row did not panic")
+		}
+	}()
+	tb.AddRow("x", "y")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "desc")
+	tb.AddRow("a", `has "quotes", and comma`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has ""quotes"", and comma"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "name,desc\n") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+}
+
+func TestFormatted(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"}, {3.5, "3.50"}, {0.0039, "0.0039"}, {1080, "1080"},
+	}
+	for _, c := range cases {
+		if got := Formatted(c.in); got != c.want {
+			t.Errorf("Formatted(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders line/step/scatter charts as standalone SVG documents —
+// the graphical form of the paper's figures, built with the standard
+// library only. Output is deterministic for a given input.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height default to 720×420.
+	Width, Height int
+
+	series []plotSeries
+}
+
+type plotKind int
+
+const (
+	kindLine plotKind = iota
+	kindStep
+	kindScatter
+)
+
+type plotSeries struct {
+	name string
+	xs   []float64
+	ys   []float64
+	kind plotKind
+}
+
+// palette holds the series colors (color-blind-safe Okabe-Ito subset).
+var palette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"}
+
+// NewPlot returns an empty plot.
+func NewPlot(title, xLabel, yLabel string) *Plot {
+	return &Plot{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+func (p *Plot) add(name string, xs, ys []float64, kind plotKind) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("trace: series %q has %d xs vs %d ys", name, len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("trace: series %q is empty", name)
+	}
+	p.series = append(p.series, plotSeries{
+		name: name,
+		xs:   append([]float64(nil), xs...),
+		ys:   append([]float64(nil), ys...),
+		kind: kind,
+	})
+	return nil
+}
+
+// Line adds a polyline series.
+func (p *Plot) Line(name string, xs, ys []float64) error {
+	return p.add(name, xs, ys, kindLine)
+}
+
+// Steps adds a step series (value holds until the next x — the natural
+// rendering for power caps).
+func (p *Plot) Steps(name string, xs, ys []float64) error {
+	return p.add(name, xs, ys, kindStep)
+}
+
+// Scatter adds a point series (the natural rendering for measured
+// samples).
+func (p *Plot) Scatter(name string, xs, ys []float64) error {
+	return p.add(name, xs, ys, kindScatter)
+}
+
+// niceTicks returns ~n human-friendly tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag < 1.5:
+		step = mag
+	case rawStep/mag < 3.5:
+		step = 2 * mag
+	case rawStep/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case a >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// bounds returns the data extent across all series, padded.
+func (p *Plot) bounds() (x0, x1, y0, y1 float64) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			x0 = math.Min(x0, s.xs[i])
+			x1 = math.Max(x1, s.xs[i])
+			y0 = math.Min(y0, s.ys[i])
+			y1 = math.Max(y1, s.ys[i])
+		}
+	}
+	if y0 > 0 && y0 < y1/3 {
+		y0 = 0 // anchor near-zero ranges at zero
+	}
+	if y0 == y1 {
+		y1 = y0 + 1
+	}
+	pad := (y1 - y0) * 0.08
+	return x0, x1, y0 - 0, y1 + pad
+}
+
+// SVG renders the plot. It panics if no series were added, since an
+// empty figure always indicates a harness bug.
+func (p *Plot) SVG() string {
+	if len(p.series) == 0 {
+		panic("trace: plot has no series")
+	}
+	w, h := p.Width, p.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 420
+	}
+	const (
+		mLeft, mRight, mTop, mBottom = 70, 20, 44, 52
+	)
+	iw := float64(w - mLeft - mRight)
+	ih := float64(h - mTop - mBottom)
+	x0, x1, y0, y1 := p.bounds()
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	px := func(x float64) float64 { return float64(mLeft) + (x-x0)/(x1-x0)*iw }
+	py := func(y float64) float64 { return float64(mTop) + ih - (y-y0)/(y1-y0)*ih }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		mLeft, escape(p.Title))
+
+	// Gridlines + ticks.
+	for _, t := range niceTicks(y0, y1, 5) {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e0e0e0"/>`+"\n", mLeft, y, w-mRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="11" fill="#444">%s</text>`+"\n",
+			mLeft-6, y+4, formatTick(t))
+	}
+	for _, t := range niceTicks(x0, x1, 7) {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#e0e0e0"/>`+"\n", x, mTop, x, h-mBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11" fill="#444">%s</text>`+"\n",
+			x, h-mBottom+16, formatTick(t))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", mLeft, h-mBottom, w-mRight, h-mBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", mLeft, mTop, mLeft, h-mBottom)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		mLeft+int(iw/2), h-10, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		mTop+int(ih/2), mTop+int(ih/2), escape(p.YLabel))
+
+	// Series.
+	for i, s := range p.series {
+		color := palette[i%len(palette)]
+		switch s.kind {
+		case kindScatter:
+			for j := range s.xs {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", px(s.xs[j]), py(s.ys[j]), color)
+			}
+		default:
+			var pts []string
+			for j := range s.xs {
+				if s.kind == kindStep && j > 0 {
+					pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.xs[j]), py(s.ys[j-1])))
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.xs[j]), py(s.ys[j])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+	}
+
+	// Legend (top-right, one row per series).
+	lx := w - mRight - 170
+	ly := mTop + 8
+	for i, s := range p.series {
+		color := palette[i%len(palette)]
+		y := ly + i*17
+		if s.kind == kindScatter {
+			fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="3.5" fill="%s"/>`+"\n", lx+9, y-3, color)
+		} else {
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.8"/>`+"\n", lx, y-3, lx+18, y-3, color)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n", lx+24, y, escape(s.name))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SeriesPlot is a convenience: one Plot from trace Series, aligned on
+// their own time axes.
+func SeriesPlot(title, xLabel, yLabel string, series ...*Series) (*Plot, error) {
+	p := NewPlot(title, xLabel, yLabel)
+	names := map[string]bool{}
+	for _, s := range series {
+		if names[s.Name] {
+			return nil, fmt.Errorf("trace: duplicate series %q in plot", s.Name)
+		}
+		names[s.Name] = true
+		if err := p.Line(s.Name, s.Times(), s.Values()); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlotSVGBasicStructure(t *testing.T) {
+	p := NewPlot("Fig X: demo", "time (s)", "progress/s")
+	if err := p.Line("measured", []float64{0, 1, 2, 3}, []float64{10, 12, 11, 13}); err != nil {
+		t.Fatal(err)
+	}
+	svg := p.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Fig X: demo", "time (s)", "progress/s", "measured",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg[:200])
+		}
+	}
+}
+
+func TestPlotKinds(t *testing.T) {
+	p := NewPlot("t", "x", "y")
+	if err := p.Steps("cap", []float64{0, 10, 20}, []float64{170, 90, 170}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Scatter("measured", []float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	svg := p.SVG()
+	if !strings.Contains(svg, "circle") {
+		t.Fatal("scatter produced no circles")
+	}
+	// The step series produces more polyline points than raw samples.
+	if strings.Count(svg, "polyline") != 1 {
+		t.Fatalf("polyline count = %d", strings.Count(svg, "polyline"))
+	}
+}
+
+func TestPlotValidation(t *testing.T) {
+	p := NewPlot("t", "x", "y")
+	if err := p.Line("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := p.Line("empty", nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestPlotEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty plot did not panic")
+		}
+	}()
+	NewPlot("t", "x", "y").SVG()
+}
+
+func TestPlotDeterministic(t *testing.T) {
+	mk := func() string {
+		p := NewPlot("t", "x", "y")
+		_ = p.Line("a", []float64{0, 1, 2}, []float64{5, 6, 7})
+		_ = p.Line("b", []float64{0, 1, 2}, []float64{7, 6, 5})
+		return p.SVG()
+	}
+	if mk() != mk() {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestPlotEscapesMarkup(t *testing.T) {
+	p := NewPlot(`<Title & "quotes">`, "x", "y")
+	_ = p.Line("s", []float64{0}, []float64{1})
+	svg := p.SVG()
+	if strings.Contains(svg, "<Title") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;Title &amp;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 4 || len(ticks) > 8 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	// Degenerate range must not loop forever or return nothing.
+	if got := niceTicks(5, 5, 5); len(got) == 0 {
+		t.Fatal("degenerate range produced no ticks")
+	}
+	// Inverted input is normalized.
+	if got := niceTicks(10, 0, 5); len(got) == 0 {
+		t.Fatal("inverted range produced no ticks")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {2e6, "2M"}, {50000, "50k"}, {3.5, "3.5"}, {3, "3"}, {0.004, "0.004"},
+	}
+	for _, c := range cases {
+		if got := formatTick(c.in); got != c.want {
+			t.Errorf("formatTick(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeriesPlot(t *testing.T) {
+	a := NewSeries("rate", "it/s")
+	a.Add(0, 10)
+	a.Add(time.Second, 12)
+	b := NewSeries("power", "W")
+	b.Add(0, 170)
+	b.Add(time.Second, 90)
+	p, err := SeriesPlot("combined", "t", "v", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := p.SVG()
+	if !strings.Contains(svg, "rate") || !strings.Contains(svg, "power") {
+		t.Fatal("series names missing from legend")
+	}
+	if _, err := SeriesPlot("dup", "t", "v", a, a); err == nil {
+		t.Fatal("duplicate series accepted")
+	}
+}

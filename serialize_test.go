@@ -1,0 +1,76 @@
+package progresscap
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCharacterizationJSONRoundTrip(t *testing.T) {
+	in := Characterization{App: "STREAM", Beta: 0.37, MPO: 50.9e-3, BaselineRate: 16, BaselinePkgW: 185}
+	data, err := in.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"app": "STREAM"`) {
+		t.Fatalf("JSON missing app field:\n%s", data)
+	}
+	out, err := ParseCharacterization(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestParseCharacterizationRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version": 99, "app": "x", "beta": 0.5, "baseline_rate": 1, "baseline_pkg_w": 100}`,
+		`{"version": 1, "app": "x", "beta": 2.0, "baseline_rate": 1, "baseline_pkg_w": 100}`,
+		`{"version": 1, "app": "x", "beta": 0.5, "baseline_rate": 0, "baseline_pkg_w": 100}`,
+		`{"version": 1, "app": "x", "beta": 0.5, "baseline_rate": 1, "baseline_pkg_w": 100, "mpo": -1}`,
+	}
+	for i, c := range cases {
+		if _, err := ParseCharacterization([]byte(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestFitModelWithAlpha(t *testing.T) {
+	c := Characterization{App: "LAMMPS", Beta: 1.0, BaselineRate: 800000, BaselinePkgW: 177}
+	// Synthesize rates from a known α=2.5 model.
+	truthModel, err := FitModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthModel.p.WithAlpha(2.5)
+	caps := []float64{160, 120, 90, 70}
+	rates := make([]float64, len(caps))
+	for i, w := range caps {
+		rates[i] = truth.PredictProgress(w)
+	}
+	m, err := FitModelWithAlpha(c, caps, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha()-2.5) > 0.051 {
+		t.Fatalf("fitted α = %v, want ~2.5", m.Alpha())
+	}
+	if _, err := FitModelWithAlpha(c, caps, rates[:2]); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestDefaultModelAlpha(t *testing.T) {
+	c := Characterization{App: "x", Beta: 0.5, BaselineRate: 10, BaselinePkgW: 100}
+	m, err := FitModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Alpha() != 2 {
+		t.Fatalf("default α = %v, want 2", m.Alpha())
+	}
+}
