@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster); empty = all")
+	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults); empty = all")
 	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
 	reps := flag.Int("reps", 3, "repetitions per power cap (Figure 4)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
@@ -58,6 +58,7 @@ func main() {
 		{"ext-cluster", experiments.ExtCluster},
 		{"ext-energy", experiments.ExtEnergy},
 		{"ext-method", experiments.ExtMethod},
+		{"ext-faults", experiments.ExtFaults},
 	}
 
 	want := map[string]bool{}

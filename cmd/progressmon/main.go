@@ -63,6 +63,14 @@ func main() {
 			mon.Offer(rep)
 		case <-ticker.C:
 			s := mon.Flush(time.Since(start))
+			if mon.EmptyWindows() >= 3 {
+				// The stream has gone silent: say so explicitly instead
+				// of printing a misleading rate=0 line. The application
+				// may have hung, crashed, or lost its transport.
+				fmt.Printf("%8.1fs  STALE: no reports for %d consecutive windows\n",
+					s.At.Seconds(), mon.EmptyWindows())
+				continue
+			}
 			note := ""
 			if detector.Offer(s.Rate) {
 				ch := detector.Changes()

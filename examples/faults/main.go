@@ -1,0 +1,68 @@
+// Faults demonstrates the degraded-signal state machine: an NRM
+// enforcing a 120 W budget on LAMMPS loses its entire progress stream
+// for 10 seconds mid-run (a monitoring blackout injected by the fault
+// subsystem) and must ride it out without ever overshooting the budget,
+// then re-trust the signal through probation once reports resume.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/engine"
+	"progresscap/internal/fault"
+	"progresscap/internal/nrm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	eng, err := engine.New(engine.DefaultConfig(), apps.LAMMPS(apps.DefaultRanks, 1600))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Install the fault plan before the NRM attaches: every progress
+	// report published between t=8 s and t=18 s is silently dropped.
+	eng.SetFaults(fault.NewInjector(fault.Plan{PubSub: fault.PubSubPlan{
+		Blackouts: []fault.Window{{From: 8 * time.Second, To: 18 * time.Second}},
+	}}))
+
+	mgr, err := nrm.New(nrm.Config{Beta: 1.0}, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr.SetBudget(120)
+
+	fmt.Printf("%6s  %10s  %6s  %8s  %8s\n", "epoch", "mode", "knob", "cap (W)", "reports")
+	for epoch := 0; epoch < 32; epoch++ {
+		done, err := mgr.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		decs := mgr.Decisions()
+		d := decs[len(decs)-1]
+		reports := 0
+		if samples := eng.Monitor().Samples(); len(samples) > 0 {
+			reports = samples[len(samples)-1].Reports
+		}
+		fmt.Printf("%6d  %10s  %6s  %8.0f  %8d\n", epoch, d.Mode, d.Knob, d.Setting, reports)
+		if done {
+			break
+		}
+	}
+
+	fmt.Println("\nmode transitions:")
+	for _, tr := range mgr.ModeTransitions() {
+		fmt.Printf("  t=%4.0fs  %-9s -> %-9s  %s\n", tr.At.Seconds(), tr.From, tr.To, tr.Reason)
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrun used %.0f J over %.0f s\n", res.EnergyJ, res.Elapsed.Seconds())
+	fmt.Println("While blind the NRM held a conservative RAPL cap instead of trusting a")
+	fmt.Println("silent signal; when reports resumed it re-entered normal control only")
+	fmt.Println("after a clean probation period.")
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"progresscap/internal/engine"
+	"progresscap/internal/fault"
 	"progresscap/internal/rapl"
 	"progresscap/internal/stats"
 	"progresscap/internal/trace"
@@ -26,6 +27,12 @@ import (
 
 // Epoch is the job manager's control period.
 const Epoch = time.Second
+
+// QuarantineCapW is the power cap held on a fenced node. It must be a
+// small *positive* value: 0 means "uncapped" in RAPL semantics, and an
+// unresponsive node left uncapped could silently burn its full TDP out
+// of the job's allocation.
+const QuarantineCapW = 40
 
 // NodeStatus is the per-epoch feedback a policy divides on.
 type NodeStatus struct {
@@ -35,7 +42,14 @@ type NodeStatus struct {
 	Rate     float64 // online performance over the last epoch
 	Baseline float64 // running estimate of the uncapped rate
 	Done     bool
+	// Failed marks a node the manager's watchdog has fenced: its progress
+	// stream went silent for FailureEpochs. Policies must not allocate
+	// budget to it; the manager holds it at a quarantine cap instead.
+	Failed bool
 }
+
+// allocatable reports whether a node should receive a budget share.
+func (s NodeStatus) allocatable() bool { return !s.Done && !s.Failed }
 
 // Normalized returns the node's progress as a fraction of its baseline
 // estimate (1 when no baseline is known yet).
@@ -66,7 +80,7 @@ func (EqualSplit) Divide(budgetW float64, nodes []NodeStatus) []float64 {
 	caps := make([]float64, len(nodes))
 	alive := 0
 	for _, n := range nodes {
-		if !n.Done {
+		if n.allocatable() {
 			alive++
 		}
 	}
@@ -75,7 +89,7 @@ func (EqualSplit) Divide(budgetW float64, nodes []NodeStatus) []float64 {
 	}
 	share := budgetW / float64(alive)
 	for i, n := range nodes {
-		if !n.Done {
+		if n.allocatable() {
 			caps[i] = share
 		}
 	}
@@ -107,7 +121,7 @@ func (p ProgressAware) Divide(budgetW float64, nodes []NodeStatus) []float64 {
 	var weights []float64
 	var alive []int
 	for i, n := range nodes {
-		if n.Done {
+		if !n.allocatable() {
 			continue
 		}
 		// Need grows as normalized progress falls below the job mean.
@@ -144,7 +158,7 @@ func (Throughput) Divide(budgetW float64, nodes []NodeStatus) []float64 {
 	var weights []float64
 	var alive []int
 	for i, n := range nodes {
-		if n.Done {
+		if !n.allocatable() {
 			continue
 		}
 		// Efficiency: normalized progress per watt drawn; unknown power
@@ -200,6 +214,13 @@ type Node struct {
 	lastPow  float64
 	capTrace *trace.Series
 	result   *engine.Result
+
+	// Watchdog state: a node whose monitor sample count stops moving for
+	// FailureEpochs consecutive epochs is fenced (failed = true) until
+	// its stream resumes.
+	failed         bool
+	lastSamples    int
+	stagnantEpochs int
 }
 
 // Name returns the node's name.
@@ -259,6 +280,12 @@ type Manager struct {
 	// estimate per-node baselines (default 2).
 	UncappedEpochs int
 
+	// FailureEpochs is how many consecutive epochs a node's progress
+	// stream may stay frozen before the watchdog fences it (default 3).
+	FailureEpochs int
+
+	faults *fault.Injector
+
 	epoch    int
 	elapsed  time.Duration
 	res      *Result
@@ -284,7 +311,23 @@ func NewManager(policy Policy, budget BudgetFunc, nodes ...*Node) (*Manager, err
 		}
 		seen[n.name] = true
 	}
-	return &Manager{nodes: nodes, policy: policy, budget: budget, UncappedEpochs: 2, budgetOverride: -1}, nil
+	return &Manager{nodes: nodes, policy: policy, budget: budget, UncappedEpochs: 2, FailureEpochs: 3, budgetOverride: -1}, nil
+}
+
+// SetFaults installs a fault injector whose per-node plans (crash,
+// slowdown) the manager consults while stepping. Call before the first
+// Step.
+func (m *Manager) SetFaults(inj *fault.Injector) { m.faults = inj }
+
+// FailedNodes lists the nodes currently fenced by the watchdog.
+func (m *Manager) FailedNodes() []string {
+	var out []string
+	for _, n := range m.nodes {
+		if n.failed {
+			out = append(out, n.name)
+		}
+	}
+	return out
 }
 
 // SetBudgetOverride replaces the job's budget function with a fixed
@@ -332,29 +375,59 @@ func (m *Manager) Step() (bool, error) {
 	}
 	res.BudgetTrace.Add(m.elapsed, budgetW)
 	statuses := m.statuses()
+
+	// Fenced nodes are held at the quarantine cap; that power comes out
+	// of the job budget before the policy divides the remainder among
+	// healthy nodes.
+	divisible := budgetW
+	for _, s := range statuses {
+		if s.Failed && !s.Done {
+			divisible -= QuarantineCapW
+		}
+	}
+	if divisible < 0 {
+		divisible = 0
+	}
+
 	var caps []float64
 	if m.epoch < m.UncappedEpochs {
 		caps = make([]float64, len(m.nodes)) // calibration: uncapped
 	} else {
-		caps = m.policy.Divide(budgetW, statuses)
+		caps = m.policy.Divide(divisible, statuses)
 		if len(caps) != len(m.nodes) {
 			return false, fmt.Errorf("cluster: policy %s returned %d caps for %d nodes",
 				m.policy.Name(), len(caps), len(m.nodes))
 		}
-		clampCaps(caps, budgetW)
+		clampCaps(caps, divisible)
+		for i, s := range statuses {
+			if s.Failed && !s.Done {
+				caps[i] = QuarantineCapW
+			}
+		}
 	}
 	for i, n := range m.nodes {
 		n.capW = caps[i]
-		if err := rapl.WriteLimit(n.eng.Device(), caps[i], 10*time.Millisecond); err != nil {
+		if err := rapl.WriteLimitRetry(n.eng.Device(), caps[i], 10*time.Millisecond); err != nil {
 			return false, fmt.Errorf("cluster: programming %s: %w", n.name, err)
 		}
 		n.capTrace.Add(m.elapsed, caps[i])
 	}
 
-	// 2. Advance every node one epoch.
+	// 2. Advance every node one epoch. A crashed node is frozen in
+	// place — it burns no virtual time and produces no reports, which is
+	// exactly what the watchdog must detect from the outside. A slowed
+	// node gets its frequency ceiling applied before it steps.
 	for _, n := range m.nodes {
 		if n.eng.Done() {
 			continue
+		}
+		if np := m.nodeFaults(n); np != nil {
+			if np.Crashed(m.elapsed) {
+				continue
+			}
+			if frac := np.FreqCeilingFrac(m.elapsed); frac < 1 {
+				n.eng.SetFreqCeiling(frac * n.eng.MaxFreqMHz())
+			}
 		}
 		if _, err := n.eng.Advance(Epoch); err != nil {
 			return false, fmt.Errorf("cluster: advancing %s: %w", n.name, err)
@@ -363,11 +436,14 @@ func (m *Manager) Step() (bool, error) {
 	m.elapsed += Epoch
 	m.epoch++
 
-	// 3. Collect feedback and the job progress metrics.
+	// 3. Collect feedback, run the watchdog, and compute the job
+	// progress metrics over healthy nodes only — a fenced node's frozen
+	// last rate must not drag the job minimum to zero forever.
 	min, mean, alive := 1.0, 0.0, 0
 	for _, n := range m.nodes {
 		m.refresh(n)
-		if n.eng.Done() {
+		m.watchdog(n)
+		if n.eng.Done() || n.failed {
 			continue
 		}
 		alive++
@@ -434,9 +510,43 @@ func (m *Manager) statuses() []NodeStatus {
 			Rate:     n.lastRate,
 			Baseline: n.baseline,
 			Done:     n.eng.Done(),
+			Failed:   n.failed,
 		}
 	}
 	return out
+}
+
+// nodeFaults returns the node's fault plan, or nil when no injector is
+// installed or the plan has no entry for this node.
+func (m *Manager) nodeFaults(n *Node) *fault.Node {
+	if m.faults == nil {
+		return nil
+	}
+	return m.faults.Node(n.name)
+}
+
+// watchdog fences a node whose monitor sample count has not moved for
+// FailureEpochs consecutive epochs, and unfences it the moment samples
+// resume. Done nodes are never fenced — a finished stream is silent by
+// design.
+func (m *Manager) watchdog(n *Node) {
+	count := len(n.eng.Monitor().Samples())
+	fresh := count > n.lastSamples
+	n.lastSamples = count
+	if n.eng.Done() {
+		n.failed = false
+		n.stagnantEpochs = 0
+		return
+	}
+	if fresh {
+		n.failed = false
+		n.stagnantEpochs = 0
+		return
+	}
+	n.stagnantEpochs++
+	if n.stagnantEpochs >= m.FailureEpochs {
+		n.failed = true
+	}
 }
 
 // refresh pulls the node's latest window sample out of its monitor and

@@ -42,13 +42,19 @@ func (e Event) String() string {
 	}
 }
 
+// ReadHook lets a fault-injection layer perturb counter values as they
+// are read (glitches, overflow offsets). It receives the true value and
+// returns the value the reader observes. It must be deterministic.
+type ReadHook func(core int, e Event, v uint64) uint64
+
 // Bank holds the counters for one node: numEvents counters per core.
 // The simulation engine increments them; readers snapshot them through
 // EventSets. Bank is safe for concurrent use.
 type Bank struct {
-	mu    sync.Mutex
-	cores int
-	vals  [][]uint64 // [core][event]
+	mu       sync.Mutex
+	cores    int
+	vals     [][]uint64 // [core][event]
+	readHook ReadHook
 }
 
 // NewBank returns a zeroed counter bank for the given core count.
@@ -66,6 +72,23 @@ func NewBank(cores int) *Bank {
 // Cores returns the number of cores the bank covers.
 func (b *Bank) Cores() int { return b.cores }
 
+// SetReadHook installs (or, with nil, removes) the read-side fault hook.
+// Writers (Add) are never perturbed: the simulation's ground truth stays
+// intact; only observations degrade.
+func (b *Bank) SetReadHook(h ReadHook) {
+	b.mu.Lock()
+	b.readHook = h
+	b.mu.Unlock()
+}
+
+// observe applies the read hook, if any.
+func (b *Bank) observe(core int, e Event, v uint64) uint64 {
+	if b.readHook == nil {
+		return v
+	}
+	return b.readHook(core, e, v)
+}
+
 // Add increments an event counter on a core.
 func (b *Bank) Add(core int, e Event, delta uint64) {
 	b.mu.Lock()
@@ -77,7 +100,7 @@ func (b *Bank) Add(core int, e Event, delta uint64) {
 func (b *Bank) Read(core int, e Event) uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.vals[core][e]
+	return b.observe(core, e, b.vals[core][e])
 }
 
 // Total returns the event count summed over all cores.
@@ -86,7 +109,7 @@ func (b *Bank) Total(e Event) uint64 {
 	defer b.mu.Unlock()
 	var sum uint64
 	for c := 0; c < b.cores; c++ {
-		sum += b.vals[c][e]
+		sum += b.observe(c, e, b.vals[c][e])
 	}
 	return sum
 }
@@ -133,17 +156,39 @@ func (s *EventSet) Start(now time.Duration) {
 type Reading struct {
 	Deltas  map[Event]uint64
 	Elapsed time.Duration
+	// Clamped lists events whose deltas were physically implausible
+	// (counter glitch or mid-interval corruption) and were zeroed rather
+	// than propagated into derived metrics.
+	Clamped []Event
 }
 
-// Stop returns the deltas accumulated since Start. Calling Stop before
-// Start panics.
+// maxEventsPerCoreSecond bounds how many events one core can plausibly
+// retire per second: a generous 16 events per cycle at a generous 5 GHz.
+// Anything above it is a glitched observation, not a measurement.
+const maxEventsPerCoreSecond = 16 * 5e9
+
+// Stop returns the deltas accumulated since Start, computed modularly so
+// a counter wraparound between Start and Stop is handled exactly. Deltas
+// beyond the physical event-rate bound (possible only with read faults
+// injected) are zeroed and recorded in Clamped — garbage must not leak
+// into MIPS/IPC/MPO. Calling Stop before Start panics.
 func (s *EventSet) Stop(now time.Duration) Reading {
 	if s.start == nil {
 		panic("counters: EventSet.Stop before Start")
 	}
 	r := Reading{Deltas: make(map[Event]uint64, len(s.events)), Elapsed: now - s.began}
+	sec := r.Elapsed.Seconds()
+	if sec < 1 {
+		sec = 1
+	}
+	bound := uint64(sec * float64(s.bank.Cores()) * maxEventsPerCoreSecond)
 	for _, e := range s.events {
-		r.Deltas[e] = s.bank.Total(e) - s.start[e]
+		d := s.bank.Total(e) - s.start[e] // modular: exact across wraparound
+		if d > bound {
+			d = 0
+			r.Clamped = append(r.Clamped, e)
+		}
+		r.Deltas[e] = d
 	}
 	return r
 }

@@ -69,9 +69,10 @@ func (c Config) Quantize(mhz float64) float64 {
 // Domain is the package frequency domain: one shared P-state plus a
 // package-wide duty cycle. The zero value is unusable; use NewDomain.
 type Domain struct {
-	cfg  Config
-	freq float64
-	duty float64 // (0,1], 1 = no modulation
+	cfg     Config
+	freq    float64
+	duty    float64 // (0,1], 1 = no modulation
+	ceiling float64 // 0 = none; else max grantable P-state (throttled part)
 }
 
 // NewDomain returns a domain running at maximum turbo with no clock
@@ -90,11 +91,34 @@ func (d *Domain) Config() Config { return d.cfg }
 func (d *Domain) CurrentMHz() float64 { return d.freq }
 
 // SetTargetMHz requests a frequency; the granted, quantized value is
-// returned.
+// returned. A throttle ceiling, if set, caps the grant regardless of the
+// request — exactly as firmware overrides OS P-state requests.
 func (d *Domain) SetTargetMHz(mhz float64) float64 {
 	d.freq = d.cfg.Quantize(mhz)
+	if d.ceiling > 0 && d.freq > d.ceiling {
+		d.freq = d.ceiling
+	}
 	return d.freq
 }
+
+// SetCeilingMHz imposes (or, with 0, clears) a frequency ceiling below
+// which every grant is clamped — a thermally throttled or degraded part
+// that no longer reaches its rated P-states. The current frequency is
+// clamped immediately.
+func (d *Domain) SetCeilingMHz(mhz float64) {
+	if mhz <= 0 {
+		d.ceiling = 0
+		return
+	}
+	c := d.cfg.Quantize(mhz)
+	d.ceiling = c
+	if d.freq > c {
+		d.freq = c
+	}
+}
+
+// CeilingMHz returns the active throttle ceiling (0 when none).
+func (d *Domain) CeilingMHz() float64 { return d.ceiling }
 
 // Duty returns the current effective duty cycle.
 func (d *Domain) Duty() float64 { return d.duty }

@@ -24,6 +24,7 @@ import (
 
 	"progresscap/internal/counters"
 	"progresscap/internal/cpu"
+	"progresscap/internal/fault"
 	"progresscap/internal/msr"
 	"progresscap/internal/policy"
 	"progresscap/internal/power"
@@ -146,6 +147,9 @@ type Result struct {
 	DRAMEnergyJ float64 // the separate DRAM RAPL domain
 	Counters    counters.Reading
 	Dropped     uint64 // progress reports lost in the pub/sub layer
+	// DropsByTopic attributes pub/sub losses to the progress stream that
+	// suffered them (topic = "progress.<app>").
+	DropsByTopic map[string]uint64
 
 	// WorkUnits is the total application-defined work executed across
 	// all workloads (the paper's Definition 2, Table I).
@@ -220,12 +224,26 @@ type Engine struct {
 	energyMark float64
 
 	windowHook func(WindowStats)
+
+	// Fault injection (nil in a clean run; every consultation is a single
+	// nil-check, so an uninstalled layer costs nothing and perturbs
+	// nothing).
+	faults    *fault.Injector
+	pubFaults *fault.PubSub
 }
 
-type busPublisher struct{ bus *pubsub.Bus }
+type busPublisher struct{ e *Engine }
 
 func (p busPublisher) PublishPayload(topic string, payload []byte) int {
-	return p.bus.Publish(pubsub.Message{Topic: topic, Payload: payload})
+	m := pubsub.Message{Topic: topic, Payload: payload}
+	if f := p.e.pubFaults; f != nil {
+		delivered := 0
+		for _, fm := range f.Intercept(p.e.clock.Now(), m) {
+			delivered += p.e.bus.Publish(fm)
+		}
+		return delivered
+	}
+	return p.e.bus.Publish(m)
 }
 
 // New assembles an engine for one workload.
@@ -289,7 +307,7 @@ func NewMulti(cfg Config, ws ...*workload.Workload) (*Engine, error) {
 		offset += w.Ranks
 		e.jobs = append(e.jobs, &job{
 			exec:     exec,
-			reporter: progress.NewReporter(w.Name, busPublisher{bus}),
+			reporter: progress.NewReporter(w.Name, busPublisher{e}),
 			monitor:  progress.NewMonitor(cfg.Window),
 			sub:      bus.Subscribe(progress.Topic(w.Name), 1024),
 			res: &JobResult{
@@ -307,6 +325,9 @@ func NewMulti(cfg Config, ws ...*workload.Workload) (*Engine, error) {
 // Device exposes the MSR interface, the only control surface policy code
 // may use.
 func (e *Engine) Device() *msr.Device { return e.dev }
+
+// MaxFreqMHz returns the node's maximum all-core turbo frequency.
+func (e *Engine) MaxFreqMHz() float64 { return e.cfg.CPU.MaxMHz }
 
 // Clock returns the engine's virtual clock.
 func (e *Engine) Clock() *simtime.Clock { return e.clock }
@@ -347,6 +368,40 @@ func (e *Engine) SetScheme(s policy.Scheme) error {
 	e.policyTicker = simtime.NewTicker(0, d.Interval())
 	return nil
 }
+
+// SetFaults installs (or, with nil, removes) a fault-injection layer:
+// progress publishes route through its transport injector, MSR and
+// counter reads through its hooks, and — when the plan asks for an early
+// energy wraparound — the RAPL counter is re-seeded. Call before the
+// first Advance and before constructing policy layers (such as an NRM)
+// that prime energy readers against the device.
+func (e *Engine) SetFaults(inj *fault.Injector) {
+	e.faults = inj
+	if inj == nil {
+		e.pubFaults = nil
+		e.dev.SetFaultHook(nil)
+		e.bank.SetReadHook(nil)
+		return
+	}
+	e.pubFaults = nil
+	if inj.PubSub().Enabled() {
+		e.pubFaults = inj.PubSub()
+	}
+	e.dev.SetFaultHook(inj.MSR().Hook())
+	e.bank.SetReadHook(inj.Counters().Hook())
+	if raw := inj.MSR().EnergyWrapRaw(); raw != 0 {
+		e.ctl.SeedEnergy(raw)
+	}
+}
+
+// Faults returns the installed fault injector (nil in a clean run).
+func (e *Engine) Faults() *fault.Injector { return e.faults }
+
+// SetFreqCeiling imposes (or, with 0, clears) a hardware frequency
+// ceiling on the node — the cluster layer's surface for injecting a
+// thermally throttled node. RAPL and DVFS keep actuating, but no grant
+// exceeds the ceiling.
+func (e *Engine) SetFreqCeiling(mhz float64) { e.domain.SetCeilingMHz(mhz) }
 
 // SetManualDVFS pins the package at the given frequency and disables RAPL
 // actuation — the direct-DVFS power-limiting technique of Fig 5.
@@ -436,6 +491,14 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 				e.res.WorkUnits += ev.WorkUnits
 			}
 		}
+		// Release any fault-delayed progress reports that have come due;
+		// they re-enter after newer traffic, i.e. reordered.
+		if e.pubFaults != nil {
+			for _, m := range e.pubFaults.Due(now) {
+				e.bus.Publish(m)
+			}
+		}
+
 		activity := 0.0
 		if engaged > 0 {
 			activity = actSum / float64(engaged)
@@ -511,6 +574,7 @@ func (e *Engine) Finish() (*Result, error) {
 	e.res.DRAMEnergyJ = e.meter.DRAMEnergyJ()
 	e.res.Counters = e.events.Stop(end)
 	_, e.res.Dropped = e.bus.Stats()
+	e.res.DropsByTopic = e.bus.TopicDrops()
 	if e.daemon != nil {
 		e.res.CapTrace = e.daemon.CapTrace()
 	}

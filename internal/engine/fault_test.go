@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/fault"
+)
+
+// TestFaultLayerZeroCostWhenOff is the acceptance gate for the fault
+// subsystem: installing an injector whose plan perturbs nothing must
+// leave the run exactly — sample for sample, trace point for trace
+// point — identical to a run with no injector at all.
+func TestFaultLayerZeroCostWhenOff(t *testing.T) {
+	run := func(install bool) *Result {
+		e, err := New(DefaultConfig(), apps.LAMMPS(apps.DefaultRanks, 120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if install {
+			e.SetFaults(fault.NewInjector(fault.Plan{Seed: 99}))
+		}
+		res, err := e.Run(time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean, inert := run(false), run(true)
+
+	if len(clean.Samples) != len(inert.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(clean.Samples), len(inert.Samples))
+	}
+	for i := range clean.Samples {
+		if clean.Samples[i] != inert.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, clean.Samples[i], inert.Samples[i])
+		}
+	}
+	if clean.PowerTrace.Len() != inert.PowerTrace.Len() {
+		t.Fatalf("power trace lengths differ")
+	}
+	for i := 0; i < clean.PowerTrace.Len(); i++ {
+		a, b := clean.PowerTrace.At(i), inert.PowerTrace.At(i)
+		if a != b {
+			t.Fatalf("power point %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if clean.EnergyJ != inert.EnergyJ || clean.WorkUnits != inert.WorkUnits {
+		t.Fatalf("aggregates differ: E %v vs %v, W %v vs %v",
+			clean.EnergyJ, inert.EnergyJ, clean.WorkUnits, inert.WorkUnits)
+	}
+}
+
+func TestDropFaultThinsReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	run := func(rate float64) *Result {
+		e, err := New(DefaultConfig(), apps.LAMMPS(apps.DefaultRanks, 120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate > 0 {
+			e.SetFaults(fault.NewInjector(fault.Plan{Seed: 4, PubSub: fault.PubSubPlan{DropRate: rate}}))
+		}
+		res, err := e.Run(time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean, faulty := run(0), run(0.5)
+	var cleanReports, faultyReports int
+	for _, s := range clean.Samples {
+		cleanReports += s.Reports
+	}
+	for _, s := range faulty.Samples {
+		faultyReports += s.Reports
+	}
+	frac := float64(faultyReports) / float64(cleanReports)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("50%% drop kept %.2f of reports, want ≈0.5 (%d/%d)", frac, faultyReports, cleanReports)
+	}
+	// The transport fault must not change the work actually done.
+	if clean.WorkUnits != faulty.WorkUnits {
+		t.Fatalf("drops changed true work: %v vs %v", clean.WorkUnits, faulty.WorkUnits)
+	}
+}
+
+func TestBlackoutSilencesWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	e, err := New(DefaultConfig(), apps.LAMMPS(apps.DefaultRanks, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetFaults(fault.NewInjector(fault.Plan{PubSub: fault.PubSubPlan{
+		Blackouts: []fault.Window{{From: 4 * time.Second, To: 9 * time.Second}},
+	}}))
+	res, err := e.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		in := s.At > 4*time.Second && s.At <= 9*time.Second
+		if in && s.Reports != 0 {
+			t.Fatalf("window ending %v inside blackout has %d reports", s.At, s.Reports)
+		}
+		if !in && s.At >= 10*time.Second && s.At <= 14*time.Second && s.Reports == 0 {
+			t.Fatalf("window ending %v after blackout still silent", s.At)
+		}
+	}
+}
+
+func TestDelayedReportsArriveLate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	e, err := New(DefaultConfig(), apps.LAMMPS(apps.DefaultRanks, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetFaults(fault.NewInjector(fault.Plan{Seed: 6, PubSub: fault.PubSubPlan{
+		DelayRate: 1.0, MaxDelay: 100 * time.Millisecond,
+	}}))
+	res, err := e.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, s := range res.Samples {
+		total += s.Reports
+	}
+	if total == 0 {
+		t.Fatal("all-delayed run delivered nothing — Due release not wired")
+	}
+}

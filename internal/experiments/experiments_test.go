@@ -12,6 +12,17 @@ import (
 // full-scale harness.
 func quickOpts() Options { return Options{RunSeconds: 6, Reps: 1, Seed: 1} }
 
+// skipIfRace skips multi-second simulation sweeps under the race
+// detector: the sweeps are single-goroutine simulation whose ~13×
+// race-mode slowdown would blow the per-package test timeout without
+// adding race coverage (the concurrent paths have their own fast tests).
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceDetector {
+		t.Skip("simulation sweep skipped under -race")
+	}
+}
+
 func TestTable1Shape(t *testing.T) {
 	art, err := Table1(quickOpts())
 	if err != nil {
@@ -74,6 +85,7 @@ func TestTable5Complete(t *testing.T) {
 }
 
 func TestTable6MatchesPaper(t *testing.T) {
+	skipIfRace(t)
 	art, err := Table6(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -139,6 +151,7 @@ func TestFigure2ComputeBoundFaster(t *testing.T) {
 }
 
 func TestFigure3ProgressFollowsCap(t *testing.T) {
+	skipIfRace(t)
 	opts := quickOpts()
 	opts.RunSeconds = 8
 	art, err := Figure3(opts)
@@ -165,6 +178,7 @@ func TestFigure3ProgressFollowsCap(t *testing.T) {
 }
 
 func TestFigure4ModelShapes(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("figure 4 sweep is expensive")
 	}
@@ -244,6 +258,7 @@ func TestArtifactRender(t *testing.T) {
 }
 
 func TestFigureArtifactsCarrySVGPlots(t *testing.T) {
+	skipIfRace(t)
 	opts := quickOpts()
 	art, err := Figure2(opts)
 	if err != nil {

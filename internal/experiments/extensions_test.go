@@ -7,6 +7,7 @@ import (
 )
 
 func TestExtAlphaFitImprovesHeldOutError(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("alpha-fit sweep is expensive")
 	}
@@ -37,6 +38,7 @@ func TestExtAlphaFitImprovesHeldOutError(t *testing.T) {
 }
 
 func TestExtTechniquesShapes(t *testing.T) {
+	skipIfRace(t)
 	art, err := ExtTechniques(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +95,7 @@ func TestExtCompositeTracksCap(t *testing.T) {
 }
 
 func TestExtMethodAgreement(t *testing.T) {
+	skipIfRace(t)
 	art, err := ExtMethod(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +114,7 @@ func TestExtMethodAgreement(t *testing.T) {
 }
 
 func TestExtEnergyShapes(t *testing.T) {
+	skipIfRace(t)
 	art, err := ExtEnergy(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -135,6 +139,7 @@ func TestExtEnergyShapes(t *testing.T) {
 }
 
 func TestExtClusterEqualizesProgress(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("cluster sweep is expensive")
 	}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExtFaultsAcceptance pins the robustness criteria the fault
+// extension exists to demonstrate: bounded progress error under report
+// loss, no budget overshoot while blind, and crash redistribution.
+func TestExtFaultsAcceptance(t *testing.T) {
+	skipIfRace(t)
+	if testing.Short() {
+		t.Skip("fault sweep is expensive")
+	}
+	art, err := ExtFaults(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Tables) != 3 {
+		t.Fatalf("tables = %d, want 3", len(art.Tables))
+	}
+	sweep, trans, crash := art.Tables[0], art.Tables[1], art.Tables[2]
+
+	// A: five drop rates; <=10% true-rate error at the 20% drop row; no
+	// cap overshoot beyond the RAPL settling tolerance at any rate.
+	rows := strings.Split(strings.TrimSpace(sweep.CSV()), "\n")[1:]
+	if len(rows) != 5 {
+		t.Fatalf("sweep rows = %d", len(rows))
+	}
+	for _, line := range rows {
+		f := strings.Split(line, ",")
+		errPct, _ := strconv.ParseFloat(f[3], 64)
+		over, _ := strconv.ParseFloat(f[4], 64)
+		if f[0] == "20%" && errPct > 10 {
+			t.Errorf("true-rate error %v%% at 20%% drop, acceptance is <=10%%", errPct)
+		}
+		if over > 120*0.05 {
+			t.Errorf("drop %s: cap overshoot %v W", f[0], over)
+		}
+	}
+
+	// B: the blackout must show degraded-mode engage AND disengage.
+	tcsv := trans.CSV()
+	if !strings.Contains(tcsv, "degraded") {
+		t.Error("no degraded-mode engagement recorded")
+	}
+	if !strings.Contains(tcsv, "-> normal") {
+		t.Error("signal never re-trusted after the blackout")
+	}
+
+	// C: exactly one fenced node, and the quarantine cap on it.
+	ccsv := strings.Split(strings.TrimSpace(crash.CSV()), "\n")[1:]
+	fenced := 0
+	for _, line := range ccsv {
+		f := strings.Split(line, ",")
+		if f[1] == "fenced" {
+			fenced++
+			if f[0] != "n1" {
+				t.Errorf("fenced node %s, want n1", f[0])
+			}
+			capW, _ := strconv.ParseFloat(f[2], 64)
+			if capW != 40 {
+				t.Errorf("fenced node cap %v W, want the 40 W quarantine", capW)
+			}
+		}
+	}
+	if fenced != 1 {
+		t.Errorf("fenced nodes = %d, want 1", fenced)
+	}
+
+	// The notes carry the headline numbers.
+	if len(art.Notes) != 3 {
+		t.Fatalf("notes = %d", len(art.Notes))
+	}
+}

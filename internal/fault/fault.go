@@ -1,0 +1,184 @@
+// Package fault is the seeded, deterministic fault-injection layer.
+//
+// The paper's framework is explicit that its telemetry is imperfect — the
+// lossy non-blocking ZeroMQ publish behind OpenMC's zero-report artifact,
+// RAPL counters that wrap, msr-safe accesses that occasionally fail — and
+// an NRM must keep enforcing its power budget on a progress signal that
+// can go silent, stale, or noisy. This package makes those disturbances
+// injectable on demand so the consumers (progress monitor, NRM, cluster
+// manager, RAPL readers) can be hardened and regression-tested against
+// every one of them.
+//
+// A Plan declares fault classes and rates; an Injector derives one
+// independent seeded RNG stream per fault class (via simtime.RNG.Split),
+// so runs are exactly reproducible given (plan, seed) and — critically —
+// a disabled fault class draws no random numbers and perturbs nothing:
+// with an all-zero Plan, every trace is byte-identical to a run with no
+// injector installed.
+//
+// Fault classes and their injection surfaces:
+//
+//   - PubSubPlan  — progress-report transport faults (drop / delay /
+//     duplicate / blackout), intercepted between the Reporter and the
+//     in-process Bus by the engine; delayed messages re-enter later,
+//     which also produces reordering. TCP disconnects are injected with
+//     pubsub.(*Publisher).KickAll, driven by the Disconnects schedule.
+//   - MSRPlan     — stale reads, transient EIO, and an energy-counter
+//     seed just below the 32-bit wrap, through msr.Device's fault hook.
+//   - CounterPlan — TOT_INS/L3_TCM read glitches and overflow offsets,
+//     through counters.Bank's read hook.
+//   - NodePlan    — node crash and slowdown mid-job, consumed by the
+//     cluster manager.
+package fault
+
+import (
+	"time"
+
+	"progresscap/internal/simtime"
+)
+
+// Window is a half-open interval [From, To) of virtual time.
+type Window struct {
+	From, To time.Duration
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Duration) bool { return t >= w.From && t < w.To }
+
+// PubSubPlan injects progress-transport faults.
+type PubSubPlan struct {
+	// DropRate is the per-publish probability of silently losing the
+	// report (the ZeroMQ lossy-publish artifact, dialed up).
+	DropRate float64
+	// DelayRate is the per-publish probability of delaying the report by
+	// up to MaxDelay; delayed reports re-enter out of order relative to
+	// later publishes, so this also injects reordering.
+	DelayRate float64
+	// MaxDelay bounds injected delays (default 200 ms).
+	MaxDelay time.Duration
+	// DupRate is the per-publish probability of delivering the report
+	// twice (at-least-once transports re-deliver on retry).
+	DupRate float64
+	// Blackouts are windows during which every publish is dropped — the
+	// total-silence scenario the NRM's degraded mode must ride through.
+	Blackouts []Window
+	// Disconnects schedules TCP transport kicks (consumed by whoever
+	// drives a pubsub.Publisher; see KickDue).
+	Disconnects []time.Duration
+}
+
+// Enabled reports whether the plan can perturb anything.
+func (p PubSubPlan) Enabled() bool {
+	return p.DropRate > 0 || p.DelayRate > 0 || p.DupRate > 0 ||
+		len(p.Blackouts) > 0 || len(p.Disconnects) > 0
+}
+
+// MSRPlan injects model-specific-register access faults.
+type MSRPlan struct {
+	// StaleReadRate is the per-read probability of serving the previous
+	// read's value instead of the current one.
+	StaleReadRate float64
+	// ReadEIORate / WriteEIORate are per-access probabilities of a
+	// transient EIO (msr.ErrIO).
+	ReadEIORate  float64
+	WriteEIORate float64
+	// EnergyWrapRaw, when nonzero, seeds the RAPL energy counters at the
+	// given raw value so they wrap 32 bits early in the run — consumers
+	// must use wraparound-safe deltas, not cumulative-from-zero reads.
+	EnergyWrapRaw uint64
+}
+
+// Enabled reports whether the plan can perturb anything.
+func (p MSRPlan) Enabled() bool {
+	return p.StaleReadRate > 0 || p.ReadEIORate > 0 || p.WriteEIORate > 0 || p.EnergyWrapRaw != 0
+}
+
+// CounterPlan injects hardware-event-counter observation faults.
+type CounterPlan struct {
+	// GlitchRate is the per-read probability of a glitched observation:
+	// alternately a spike (value × GlitchScale) and a backwards jump
+	// (value / 2), both of which real PMU reads exhibit under counter
+	// multiplexing bugs.
+	GlitchRate float64
+	// GlitchScale is the spike multiplier (default 1024).
+	GlitchScale float64
+	// OverflowOffset, when nonzero, is added to every observed value so
+	// the 64-bit counter image wraps mid-run; modular deltas survive it,
+	// naive ones explode.
+	OverflowOffset uint64
+}
+
+// Enabled reports whether the plan can perturb anything.
+func (p CounterPlan) Enabled() bool { return p.GlitchRate > 0 || p.OverflowOffset != 0 }
+
+// NodePlan injects whole-node faults, consumed by the cluster manager.
+type NodePlan struct {
+	// CrashAt, when positive, stops the node dead at that virtual time:
+	// its engine is no longer advanced and its progress stream goes
+	// silent (the job manager must detect and fence it).
+	CrashAt time.Duration
+	// SlowAt, when positive, throttles the node from that time on.
+	SlowAt time.Duration
+	// SlowFactor is the fraction of the node's maximum frequency the
+	// slowdown leaves available (e.g. 0.5), a thermally-throttled or
+	// degraded part.
+	SlowFactor float64
+}
+
+// Plan is a complete fault-injection configuration for one run.
+// The zero value injects nothing.
+type Plan struct {
+	// Seed drives every fault decision (default 1). Distinct fault
+	// classes use independent Split streams, so enabling one class never
+	// shifts another's decisions.
+	Seed     uint64
+	PubSub   PubSubPlan
+	MSR      MSRPlan
+	Counters CounterPlan
+	// Nodes maps cluster node names to their fault plans.
+	Nodes map[string]NodePlan
+}
+
+// Injector instantiates a Plan's per-class fault generators.
+type Injector struct {
+	plan     Plan
+	pubsub   *PubSub
+	msr      *MSR
+	counters *Counters
+	nodes    map[string]*Node
+}
+
+// NewInjector returns an injector for the plan.
+func NewInjector(plan Plan) *Injector {
+	if plan.Seed == 0 {
+		plan.Seed = 1
+	}
+	root := simtime.NewRNG(plan.Seed)
+	inj := &Injector{
+		plan:     plan,
+		pubsub:   newPubSub(plan.PubSub, root.Split(1)),
+		msr:      newMSR(plan.MSR, root.Split(2)),
+		counters: newCounters(plan.Counters, root.Split(3)),
+		nodes:    make(map[string]*Node, len(plan.Nodes)),
+	}
+	for name, np := range plan.Nodes {
+		inj.nodes[name] = &Node{plan: np}
+	}
+	return inj
+}
+
+// Plan returns the injector's plan.
+func (i *Injector) Plan() Plan { return i.plan }
+
+// PubSub returns the transport fault generator.
+func (i *Injector) PubSub() *PubSub { return i.pubsub }
+
+// MSR returns the MSR fault generator.
+func (i *Injector) MSR() *MSR { return i.msr }
+
+// Counters returns the counter fault generator.
+func (i *Injector) Counters() *Counters { return i.counters }
+
+// Node returns the named node's fault generator, or nil when the plan
+// has none for it.
+func (i *Injector) Node(name string) *Node { return i.nodes[name] }

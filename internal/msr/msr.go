@@ -12,6 +12,7 @@
 package msr
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -52,6 +53,40 @@ func (e *ErrNotWhitelisted) Error() string {
 	return fmt.Sprintf("msr: write to 0x%x touches non-whitelisted bits %#x", e.Addr, e.Bits)
 }
 
+// ErrIO is the transient I/O error an MSR access can fail with, the
+// emulated analogue of the EIO an msr-safe read/write occasionally
+// returns on real hardware. Callers should treat it as retryable.
+var ErrIO = errors.New("msr: transient I/O error (EIO)")
+
+// FaultOp distinguishes reads from writes for the fault hook.
+type FaultOp int
+
+// Fault hook operations.
+const (
+	OpRead FaultOp = iota
+	OpWrite
+)
+
+// FaultClass is the fault a hook asks the device to exhibit for one
+// access.
+type FaultClass int
+
+// Injectable access faults.
+const (
+	// FaultNone performs the access normally.
+	FaultNone FaultClass = iota
+	// FaultStale serves the value of the previous successful read of the
+	// same register instead of the current one (no effect on writes, or
+	// when the register was never read).
+	FaultStale
+	// FaultEIO fails the access with ErrIO without touching the register.
+	FaultEIO
+)
+
+// FaultHook lets a fault-injection layer perturb individual accesses.
+// It must be deterministic for reproducible runs.
+type FaultHook func(op FaultOp, addr uint32) FaultClass
+
 // Device is an emulated MSR file for one package with n cores.
 // It is safe for concurrent use.
 type Device struct {
@@ -62,6 +97,12 @@ type Device struct {
 	writeMask map[uint32]uint64
 	writes    uint64
 	reads     uint64
+
+	faultHook FaultHook
+	// stale holds, per register scope, the value returned by the previous
+	// successful read — what a FaultStale access serves.
+	stalePkg  map[uint32]uint64
+	staleCore []map[uint32]uint64
 }
 
 // DefaultWhitelist mirrors the msr-safe configuration the paper's setup
@@ -92,9 +133,12 @@ func NewDevice(cores int, whitelist map[uint32]uint64) *Device {
 		pkg:       make(map[uint32]uint64),
 		core:      make([]map[uint32]uint64, cores),
 		writeMask: whitelist,
+		stalePkg:  make(map[uint32]uint64),
+		staleCore: make([]map[uint32]uint64, cores),
 	}
 	for i := range d.core {
 		d.core[i] = make(map[uint32]uint64)
+		d.staleCore[i] = make(map[uint32]uint64)
 	}
 	d.pkg[RaplPowerUnit] = DefaultUnits().encode()
 	d.pkg[PkgPowerLimit] = 0
@@ -104,6 +148,15 @@ func NewDevice(cores int, whitelist map[uint32]uint64) *Device {
 
 // Cores returns the number of cores the device models.
 func (d *Device) Cores() int { return d.cores }
+
+// SetFaultHook installs (or, with nil, removes) the access fault hook.
+// Without a hook the device behaves perfectly; installing one is the only
+// way accesses can fail transiently.
+func (d *Device) SetFaultHook(h FaultHook) {
+	d.mu.Lock()
+	d.faultHook = h
+	d.mu.Unlock()
+}
 
 // Read returns the value of a package-scope MSR.
 func (d *Device) Read(addr uint32) (uint64, error) {
@@ -119,16 +172,29 @@ func (d *Device) ReadCore(cpu int, addr uint32) (uint64, error) {
 		return 0, fmt.Errorf("msr: core %d out of range [0,%d)", cpu, d.cores)
 	}
 	d.reads++
-	var m map[uint32]uint64
+	var m, stale map[uint32]uint64
 	if perCore(addr) {
 		m = d.core[cpu]
+		stale = d.staleCore[cpu]
 	} else {
 		m = d.pkg
+		stale = d.stalePkg
 	}
 	v, ok := m[addr]
 	if !ok {
 		return 0, fmt.Errorf("msr: read of unimplemented register 0x%x", addr)
 	}
+	if d.faultHook != nil {
+		switch d.faultHook(OpRead, addr) {
+		case FaultEIO:
+			return 0, ErrIO
+		case FaultStale:
+			if old, seen := stale[addr]; seen {
+				return old, nil
+			}
+		}
+	}
+	stale[addr] = v
 	return v, nil
 }
 
@@ -145,6 +211,9 @@ func (d *Device) WriteCore(cpu int, addr uint32, v uint64) error {
 	defer d.mu.Unlock()
 	if cpu < 0 || cpu >= d.cores {
 		return fmt.Errorf("msr: core %d out of range [0,%d)", cpu, d.cores)
+	}
+	if d.faultHook != nil && d.faultHook(OpWrite, addr) == FaultEIO {
+		return ErrIO
 	}
 	mask, ok := d.writeMask[addr]
 	if !ok {
@@ -329,6 +398,12 @@ func (c *EnergyCounter) AddJoules(j float64) {
 // Raw returns the register image: the low 32 bits of the accumulated
 // count, as the hardware exposes it.
 func (c *EnergyCounter) Raw() uint64 { return c.raw & 0xFFFFFFFF }
+
+// SeedRaw positions the counter at an arbitrary raw value. A node does
+// not boot with a zeroed energy counter, so consumers must tolerate an
+// early 32-bit wraparound; fault plans use this to start the counter just
+// below the wrap point.
+func (c *EnergyCounter) SeedRaw(raw uint64) { c.raw = raw }
 
 // DeltaJoules returns the energy consumed between two successive register
 // reads, handling 32-bit wraparound exactly once (reads must be frequent

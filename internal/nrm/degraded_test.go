@@ -1,0 +1,218 @@
+package nrm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"progresscap/internal/engine"
+	"progresscap/internal/fault"
+	"progresscap/internal/msr"
+)
+
+// newFaultyEngine assembles a LAMMPS engine with the given fault plan
+// installed before any policy layer touches the device.
+func newFaultyEngine(t *testing.T, steps int, plan fault.Plan) *engine.Engine {
+	t.Helper()
+	e := newEngine(t, steps, 1)
+	e.SetFaults(fault.NewInjector(plan))
+	return e
+}
+
+func TestDegradedModeRidesOutBlackout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	// The signal goes totally silent for 10 s mid-run while a 120 W
+	// budget is being enforced.
+	e := newFaultyEngine(t, 2000, fault.Plan{PubSub: fault.PubSubPlan{
+		Blackouts: []fault.Window{{From: 8 * time.Second, To: 18 * time.Second}},
+	}})
+	n, err := New(Config{Beta: 1.0}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(120)
+	res, err := n.Run(40 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The state machine must engage and disengage, visibly.
+	var sawDegraded, sawNormalAgain bool
+	for _, tr := range n.ModeTransitions() {
+		if tr.To == ModeDegraded {
+			sawDegraded = true
+		}
+		if sawDegraded && tr.To == ModeNormal {
+			sawNormalAgain = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatalf("never entered degraded mode; transitions: %+v", n.ModeTransitions())
+	}
+	if !sawNormalAgain {
+		t.Fatalf("never re-trusted the signal; transitions: %+v", n.ModeTransitions())
+	}
+	// Every degraded/probation epoch is visible in the decision log.
+	var degEpochs int
+	for _, d := range n.Decisions() {
+		if d.Mode != ModeNormal {
+			degEpochs++
+			if d.Knob != KnobRAPL {
+				t.Fatalf("degraded decision used knob %v, want RAPL: %+v", d.Knob, d)
+			}
+			if d.Setting <= 0 || d.Setting > 120 {
+				t.Fatalf("degraded cap %v W outside (0, budget]: %+v", d.Setting, d)
+			}
+		}
+	}
+	if degEpochs < 3 {
+		t.Fatalf("only %d degraded-mode decisions during a 10 s blackout", degEpochs)
+	}
+
+	// No cap overshoot while blind: window-average package power must
+	// stay at or under the budget throughout the blackout (small
+	// tolerance for the RAPL controller's settling transient).
+	for i := 0; i < res.PowerTrace.Len(); i++ {
+		p := res.PowerTrace.At(i)
+		if p.T > 10*time.Second && p.T <= 18*time.Second && p.V > 120*1.05 {
+			t.Fatalf("power %v W at %v exceeds the 120 W budget during blackout", p.V, p.T)
+		}
+	}
+}
+
+func TestBackoffDoublesOnRelapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	// Two blackouts separated by a single good window: the signal comes
+	// back just long enough to start probation, then dies again.
+	e := newFaultyEngine(t, 4000, fault.Plan{PubSub: fault.PubSubPlan{
+		Blackouts: []fault.Window{
+			{From: 8 * time.Second, To: 15 * time.Second},
+			{From: 16 * time.Second, To: 23 * time.Second},
+		},
+	}})
+	n, err := New(Config{Beta: 1.0}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(120)
+	if _, err := n.Run(45 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var sawRelapse bool
+	for _, tr := range n.ModeTransitions() {
+		if tr.From == ModeProbation && tr.To == ModeDegraded {
+			sawRelapse = true
+			if !strings.Contains(tr.Reason, "backoff now 4") {
+				t.Fatalf("relapse did not double backoff: %q", tr.Reason)
+			}
+		}
+	}
+	if !sawRelapse {
+		t.Fatalf("no probation relapse recorded; transitions: %+v", n.ModeTransitions())
+	}
+}
+
+func TestDegradedModeSurvivesEnergyWrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	// Seed the energy counter just below the 32-bit wrap: the baseline
+	// power fit must still be sane (a cumulative-from-zero read would
+	// compute garbage and poison every later budget decision).
+	e := newFaultyEngine(t, 600, fault.Plan{MSR: fault.MSRPlan{EnergyWrapRaw: 0xFFFF_0000}})
+	n, err := New(Config{Beta: 1.0}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(120)
+	if _, err := n.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Model(); !ok {
+		t.Fatal("model never fitted")
+	}
+	// An uncapped 24-core node draws on the order of 200 W; the fit must
+	// land in a physical range, not in the petawatts a mis-handled wrap
+	// produces.
+	if n.basePowW < 50 || n.basePowW > 500 {
+		t.Fatalf("baseline power fit = %v W with wrapped counter", n.basePowW)
+	}
+}
+
+func TestTransientMSRFaultsAreAbsorbed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	// Transient EIO and stale serves on MSR accesses: the retry-once
+	// semantics must keep the run alive end to end. (The write rate is
+	// kept low enough that a double-fault — which is SUPPOSED to surface
+	// an error, see TestStepErrorPaths — does not occur in this run.)
+	e := newFaultyEngine(t, 400, fault.Plan{Seed: 13, MSR: fault.MSRPlan{
+		ReadEIORate: 0.02, WriteEIORate: 0.01, StaleReadRate: 0.1,
+	}})
+	n, err := New(Config{Beta: 1.0}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(120)
+	res, err := n.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("workload did not complete under transient MSR faults")
+	}
+}
+
+// TestStepErrorPaths is the table-driven contract for how Step must fail:
+// persistent actuation failure and fitting without a baseline both return
+// errors instead of silently running on.
+func TestStepErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    fault.Plan
+		wantSub string
+		wantIO  bool
+	}{
+		{
+			name:   "actuation failure surfaces",
+			plan:   fault.Plan{MSR: fault.MSRPlan{WriteEIORate: 1.0}},
+			wantIO: true,
+		},
+		{
+			name:    "fit before baseline progress",
+			plan:    fault.Plan{PubSub: fault.PubSubPlan{DropRate: 1.0}},
+			wantSub: "no baseline progress",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newFaultyEngine(t, 600, tc.plan)
+			n, err := New(Config{Beta: 1.0}, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.SetBudget(120)
+			var stepErr error
+			for i := 0; i < 8; i++ {
+				if _, stepErr = n.Step(); stepErr != nil {
+					break
+				}
+			}
+			if stepErr == nil {
+				t.Fatal("Step never returned an error")
+			}
+			if tc.wantIO && !errors.Is(stepErr, msr.ErrIO) {
+				t.Fatalf("err = %v, want msr.ErrIO", stepErr)
+			}
+			if tc.wantSub != "" && !strings.Contains(stepErr.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", stepErr, tc.wantSub)
+			}
+		})
+	}
+}

@@ -60,6 +60,45 @@ func (k Knob) String() string {
 	}
 }
 
+// Mode is the NRM's trust state toward the progress signal.
+type Mode int
+
+// Modes of the degraded-signal state machine.
+const (
+	// ModeNormal: the progress signal is trusted and drives control.
+	ModeNormal Mode = iota
+	// ModeDegraded: the signal has gone silent or stale. The NRM stops
+	// steering by progress and holds a conservative power cap — the
+	// budget must stay enforced even blind, and the control loop must not
+	// chase a rate of zero (which would read as "application stopped,
+	// power is free" and overshoot the cap the moment work resumes).
+	ModeDegraded
+	// ModeProbation: reports have resumed after an outage, but the NRM
+	// keeps the conservative cap for a backoff period before re-trusting
+	// the signal; an immediate relapse doubles the next backoff.
+	ModeProbation
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeDegraded:
+		return "degraded"
+	case ModeProbation:
+		return "probation"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ModeTransition records one state-machine edge for the decision log.
+type ModeTransition struct {
+	At       time.Duration
+	From, To Mode
+	Reason   string
+}
+
 // Decision records one epoch's enforcement choice.
 type Decision struct {
 	At      time.Duration
@@ -69,6 +108,8 @@ type Decision struct {
 	// PredictedRate is the model's expected online performance under
 	// the decision (0 when no model is fitted yet).
 	PredictedRate float64
+	// Mode is the trust state the decision was made in.
+	Mode Mode
 }
 
 // Config tunes the NRM.
@@ -87,7 +128,28 @@ type Config struct {
 	// power, measured offline (examples/nrm shows how). When empty the
 	// NRM only uses RAPL.
 	DVFSTable []DVFSPoint
+
+	// StaleEpochs is how many consecutive report-free aggregation windows
+	// the NRM tolerates before declaring the progress signal stale and
+	// entering degraded mode (default 3; a single empty window is a known
+	// benign artifact — the paper's OpenMC zero reports).
+	StaleEpochs int
+	// DegradedCapW is the conservative cap held while degraded. Zero
+	// derives it as 80% of the calibrated baseline power — strictly less
+	// than uncapped draw, so a silent node cannot breach its budget.
+	DegradedCapW float64
+	// BackoffEpochs is the initial probation length after the signal
+	// resumes (default 2). Each relapse during probation doubles the next
+	// probation, up to maxBackoffEpochs.
+	BackoffEpochs int
 }
+
+// Degraded-mode tuning: backoff doubling is bounded, and a long healthy
+// run forgives past relapses.
+const (
+	maxBackoffEpochs   = 32
+	backoffResetEpochs = 16
+)
 
 // DVFSPoint is one calibrated (frequency, package power) pair.
 type DVFSPoint struct {
@@ -137,6 +199,18 @@ type NRM struct {
 	stableEpochs int
 	phaseChanges int
 
+	// Degraded-signal state machine.
+	mode          Mode
+	backoff       int // current probation length
+	probationLeft int
+	cleanEpochs   int
+	transitions   []ModeTransition
+
+	// Wrap-safe energy accounting (replaces cumulative-from-zero reads,
+	// which a seeded or wrapped RAPL counter silently corrupts).
+	energy  *rapl.EnergyReader
+	energyJ float64
+
 	decisions []Decision
 	rateTrace *trace.Series
 }
@@ -155,6 +229,12 @@ func New(cfg Config, eng *engine.Engine) (*NRM, error) {
 	if cfg.Beta < 0 || cfg.Beta > 1 {
 		return nil, fmt.Errorf("nrm: β=%v outside [0,1]", cfg.Beta)
 	}
+	if cfg.StaleEpochs <= 0 {
+		cfg.StaleEpochs = 3
+	}
+	if cfg.BackoffEpochs <= 0 {
+		cfg.BackoffEpochs = 2
+	}
 	det, err := progress.NewPhaseDetector(0.2, 3)
 	if err != nil {
 		return nil, err
@@ -163,8 +243,21 @@ func New(cfg Config, eng *engine.Engine) (*NRM, error) {
 		cfg:       cfg,
 		eng:       eng,
 		detector:  det,
+		backoff:   cfg.BackoffEpochs,
+		energy:    rapl.NewEnergyReader(eng.Device()),
 		rateTrace: trace.NewSeries("nrm.rate", ""),
 	}, nil
+}
+
+// Mode returns the NRM's current trust state toward the progress signal.
+func (n *NRM) Mode() Mode { return n.mode }
+
+// ModeTransitions returns the degraded-mode state machine's edge log.
+func (n *NRM) ModeTransitions() []ModeTransition { return n.transitions }
+
+func (n *NRM) transition(at time.Duration, to Mode, reason string) {
+	n.transitions = append(n.transitions, ModeTransition{At: at, From: n.mode, To: to, Reason: reason})
+	n.mode = to
 }
 
 // PhaseChanges returns how many application phase changes the NRM has
@@ -234,7 +327,12 @@ func (n *NRM) Step() (bool, error) {
 				return false, err
 			}
 		}
-		dec = n.decide(now)
+		n.updateMode(now)
+		if n.mode == ModeNormal {
+			dec = n.decide(now)
+		} else {
+			dec = n.degradedDecision(now)
+		}
 		if err := n.actuate(dec); err != nil {
 			return false, err
 		}
@@ -246,11 +344,20 @@ func (n *NRM) Step() (bool, error) {
 	if err != nil {
 		return done, err
 	}
+	n.energyJ += n.energy.Advance()
 
-	// Feed the epoch's achieved progress back into the calibration or
-	// the running knob trial.
+	// Feed the epoch's achieved progress back into the calibration or the
+	// running knob trial — but only when the signal is trusted AND the
+	// window actually carried reports. A zero-rate window during an
+	// outage is transport loss, not application behaviour; learning from
+	// it would poison the baseline, the knob trial, and the phase
+	// detector at once.
 	if s := n.eng.Monitor().Samples(); len(s) > 0 {
-		achieved := s[len(s)-1].Rate
+		last := s[len(s)-1]
+		if n.mode != ModeNormal || last.Reports == 0 {
+			return done, nil
+		}
+		achieved := last.Rate
 		switch {
 		case dec.Knob == KnobNone:
 			if achieved > n.baseRate {
@@ -267,6 +374,67 @@ func (n *NRM) Step() (bool, error) {
 		n.observePhase(dec, achieved)
 	}
 	return done, nil
+}
+
+// updateMode advances the degraded-signal state machine, once per epoch,
+// before the epoch's decision is made.
+func (n *NRM) updateMode(now time.Duration) {
+	empty := n.eng.Monitor().EmptyWindows()
+	switch n.mode {
+	case ModeNormal:
+		if empty >= n.cfg.StaleEpochs {
+			n.trial = nil // the comparison data predates the outage
+			n.cleanEpochs = 0
+			n.transition(now, ModeDegraded,
+				fmt.Sprintf("no progress reports for %d consecutive windows", empty))
+			return
+		}
+		n.cleanEpochs++
+		if n.cleanEpochs >= backoffResetEpochs {
+			n.backoff = n.cfg.BackoffEpochs
+		}
+	case ModeDegraded:
+		if empty == 0 {
+			n.probationLeft = n.backoff
+			n.transition(now, ModeProbation,
+				fmt.Sprintf("progress reports resumed; %d-epoch probation", n.backoff))
+		}
+	case ModeProbation:
+		if empty > 0 {
+			// Relapse: the signal is flapping, so trust it later and less.
+			n.backoff *= 2
+			if n.backoff > maxBackoffEpochs {
+				n.backoff = maxBackoffEpochs
+			}
+			n.transition(now, ModeDegraded,
+				fmt.Sprintf("signal relapsed during probation; backoff now %d epochs", n.backoff))
+			return
+		}
+		n.probationLeft--
+		if n.probationLeft <= 0 {
+			n.cleanEpochs = 0
+			n.transition(now, ModeNormal, "probation complete, signal re-trusted")
+		}
+	}
+}
+
+// degradedDecision holds the conservative cap while the progress signal
+// cannot be trusted. The knob is always RAPL: unlike an open-loop DVFS
+// pin, the RAPL controller clamps power transients by itself, which is
+// exactly what a blind NRM needs.
+func (n *NRM) degradedDecision(now time.Duration) Decision {
+	capW := n.cfg.DegradedCapW
+	if capW <= 0 {
+		capW = 0.8 * n.basePowW
+	}
+	if n.budgetW > 0 && n.budgetW < capW {
+		capW = n.budgetW
+	}
+	dec := Decision{At: now, BudgetW: n.budgetW, Knob: KnobRAPL, Setting: capW, Mode: n.mode}
+	if n.fitted {
+		dec.PredictedRate = n.params.PredictProgress(capW)
+	}
+	return dec
 }
 
 // observePhase feeds the phase detector while the actuation has been
@@ -334,17 +502,15 @@ func (n *NRM) Run(maxDur time.Duration) (*engine.Result, error) {
 
 // fit builds the model from the calibration epochs.
 func (n *NRM) fit() error {
-	// Baseline package power: the RAPL energy counter over the
-	// calibration epochs (cumulative since t=0, before any wraparound).
-	j, _, err := rapl.ReadEnergyJ(n.eng.Device(), 0)
-	if err != nil {
-		return fmt.Errorf("nrm: reading energy: %w", err)
-	}
+	// Baseline package power: the wrap-safe energy accumulated over the
+	// calibration epochs. (A cumulative-since-zero register read would
+	// silently misreport on a node whose counter was seeded mid-count or
+	// wrapped during calibration.)
 	elapsed := n.eng.Clock().Now().Seconds()
 	if elapsed <= 0 {
 		return fmt.Errorf("nrm: fit before any epoch ran")
 	}
-	n.basePowW = j / elapsed
+	n.basePowW = n.energyJ / elapsed
 	if n.baseRate <= 0 {
 		return fmt.Errorf("nrm: no baseline progress observed during calibration")
 	}
@@ -456,10 +622,10 @@ func (n *NRM) actuate(dec Decision) error {
 	switch dec.Knob {
 	case KnobNone:
 		n.eng.Controller().SetManual(false)
-		return rapl.WriteLimit(n.eng.Device(), 0, 10*time.Millisecond)
+		return rapl.WriteLimitRetry(n.eng.Device(), 0, 10*time.Millisecond)
 	case KnobRAPL:
 		n.eng.Controller().SetManual(false)
-		return rapl.WriteLimit(n.eng.Device(), dec.Setting, 10*time.Millisecond)
+		return rapl.WriteLimitRetry(n.eng.Device(), dec.Setting, 10*time.Millisecond)
 	case KnobDVFS:
 		n.eng.SetManualDVFS(dec.Setting)
 		return nil

@@ -1,6 +1,7 @@
 package progress
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -12,6 +13,17 @@ func FuzzUnmarshalReport(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(make([]byte, 17))
 	f.Add(append(make([]byte, 16), 255))
+	// Regression seeds: truncated mid-name payloads — a report cut at the
+	// app-length byte, one cut inside the app name, and one missing only
+	// the phase-length byte. Each once produced a confusing decode path.
+	f.Add(Report{App: "openmc", Phase: "batch", Value: 1, At: time.Second}.Marshal()[:18])
+	f.Add(Report{App: "openmc", Phase: "batch", Value: 1, At: time.Second}.Marshal()[:20])
+	f.Add(Report{App: "openmc", Phase: "batch", Value: 1, At: time.Second}.Marshal()[:23])
+	// Regression seeds: NaN and ±Inf values decode structurally fine and
+	// must be caught downstream by Monitor.Offer, not by the decoder.
+	f.Add(Report{App: "x", Value: math.NaN(), At: time.Second}.Marshal())
+	f.Add(Report{App: "x", Value: math.Inf(1), At: time.Second}.Marshal())
+	f.Add(Report{App: "x", Value: math.Inf(-1), At: time.Second}.Marshal())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := UnmarshalReport(data)
 		if err != nil {

@@ -1,0 +1,75 @@
+package progress
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestOfferRejectsNonFinite(t *testing.T) {
+	m := NewMonitor(time.Second)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		if m.Offer(Report{Value: v}) {
+			t.Errorf("Offer accepted %v", v)
+		}
+	}
+	if m.Rejected() != 4 {
+		t.Fatalf("rejected = %d, want 4", m.Rejected())
+	}
+	if m.Reports() != 0 || m.TotalUnits() != 0 {
+		t.Fatal("rejected reports leaked into aggregates")
+	}
+	s := m.Flush(time.Second)
+	if s.Rate != 0 || s.Reports != 0 {
+		t.Fatalf("rejected reports leaked into sample: %+v", s)
+	}
+}
+
+func TestOfferRejectsOutlierSpike(t *testing.T) {
+	m := NewMonitor(time.Second)
+	for i := 0; i < 16; i++ {
+		if !m.Offer(Report{Value: 100}) {
+			t.Fatal("steady report rejected")
+		}
+	}
+	// A glitched counter published as progress: 2^10 × the recent level.
+	if m.Offer(Report{Value: 100 * 1024}) {
+		t.Fatal("Offer accepted a 1024x spike")
+	}
+	if m.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Rejected())
+	}
+	// A genuine phase change (a few x) still passes.
+	if !m.Offer(Report{Value: 400}) {
+		t.Fatal("Offer rejected a plausible phase-change value")
+	}
+}
+
+func TestOfferColdStartAcceptsAnything(t *testing.T) {
+	m := NewMonitor(time.Second)
+	// Too little history for the outlier guard: a legitimate first burst
+	// must pass even if large.
+	if !m.Offer(Report{Value: 1e12}) {
+		t.Fatal("cold monitor rejected a large first value")
+	}
+}
+
+func TestEmptyWindowsTracksConsecutiveSilence(t *testing.T) {
+	m := NewMonitor(time.Second)
+	m.Offer(Report{Value: 1})
+	m.Flush(1 * time.Second)
+	if m.EmptyWindows() != 0 {
+		t.Fatalf("EmptyWindows after reporting window = %d", m.EmptyWindows())
+	}
+	m.Flush(2 * time.Second)
+	m.Flush(3 * time.Second)
+	m.Flush(4 * time.Second)
+	if m.EmptyWindows() != 3 {
+		t.Fatalf("EmptyWindows after 3 silent windows = %d, want 3", m.EmptyWindows())
+	}
+	m.Offer(Report{Value: 1})
+	m.Flush(5 * time.Second)
+	if m.EmptyWindows() != 0 {
+		t.Fatalf("EmptyWindows after signal resumed = %d, want 0", m.EmptyWindows())
+	}
+}

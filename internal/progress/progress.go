@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -147,7 +148,27 @@ type Monitor struct {
 	total     float64
 	reports   uint64
 	lastFlush time.Duration
+
+	// Degraded-signal bookkeeping: a monitor is a trust boundary — its
+	// input arrives over a lossy transport from instrumented applications,
+	// so it validates before aggregating.
+	rejected     uint64
+	history      []float64 // ring of recently accepted values
+	histPos      int
+	emptyWindows int
 }
+
+// historySize is the outlier-guard ring length; outlierMinHistory is how
+// many accepted values it needs before the guard engages (a cold monitor
+// must not reject a legitimate first burst); outlierFactor is how far
+// beyond the recent median a value must be to be rejected. 32× passes any
+// plausible phase transition (the paper's phases differ by ~2–4×) while
+// stopping counter-glitch spikes (2^10 and up).
+const (
+	historySize       = 32
+	outlierMinHistory = 8
+	outlierFactor     = 32
+)
 
 // NewMonitor returns a monitor aggregating over the given window
 // (the paper uses one second).
@@ -161,11 +182,48 @@ func NewMonitor(window time.Duration) *Monitor {
 // Window returns the aggregation window.
 func (m *Monitor) Window() time.Duration { return m.window }
 
-// Offer feeds one raw report into the current window.
-func (m *Monitor) Offer(r Report) {
+// Offer feeds one raw report into the current window. It returns false —
+// and aggregates nothing — for reports that cannot be trusted: NaN,
+// infinite, or negative values (a corrupted payload decodes to a valid
+// Report struct carrying garbage), and extreme outliers relative to the
+// recently accepted history (a glitched counter read published as
+// progress). One poisoned report must not corrupt the rate the control
+// loop steers by.
+func (m *Monitor) Offer(r Report) bool {
+	if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) || r.Value < 0 {
+		m.rejected++
+		return false
+	}
+	if len(m.history) >= outlierMinHistory {
+		if med := median(m.history); med > 0 && r.Value > med*outlierFactor {
+			m.rejected++
+			return false
+		}
+	}
+	if len(m.history) < historySize {
+		m.history = append(m.history, r.Value)
+	} else {
+		m.history[m.histPos] = r.Value
+		m.histPos = (m.histPos + 1) % historySize
+	}
 	m.pending = append(m.pending, r)
 	m.total += r.Value
 	m.reports++
+	return true
+}
+
+// median returns the median of vs (vs is copied, not reordered).
+func median(vs []float64) float64 {
+	tmp := append([]float64(nil), vs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
 }
 
 // Flush closes the window ending at now and records its Sample. Windows
@@ -193,10 +251,24 @@ func (m *Monitor) Flush(now time.Duration) Sample {
 		Reports: len(m.pending),
 		Phase:   phase,
 	}
+	if s.Reports == 0 {
+		m.emptyWindows++
+	} else {
+		m.emptyWindows = 0
+	}
 	m.pending = m.pending[:0]
 	m.samples = append(m.samples, s)
 	return s
 }
+
+// EmptyWindows returns how many consecutive windows (ending with the most
+// recent Flush) closed with zero reports — the staleness signal consumers
+// use to distinguish "application reports slowly" (isolated zero windows,
+// the OpenMC aliasing artifact) from "signal is gone" (a run of them).
+func (m *Monitor) EmptyWindows() int { return m.emptyWindows }
+
+// Rejected returns how many offered reports were refused as untrustworthy.
+func (m *Monitor) Rejected() uint64 { return m.rejected }
 
 // Samples returns every recorded sample.
 func (m *Monitor) Samples() []Sample { return m.samples }

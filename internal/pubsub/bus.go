@@ -7,10 +7,11 @@ import (
 // Bus is the in-process broker. It is safe for concurrent use, though the
 // deterministic simulation engine drives it from a single goroutine.
 type Bus struct {
-	mu        sync.Mutex
-	subs      map[*Subscription]struct{}
-	published uint64
-	dropped   uint64
+	mu         sync.Mutex
+	subs       map[*Subscription]struct{}
+	published  uint64
+	dropped    uint64
+	topicDrops map[string]uint64
 }
 
 // Subscription receives messages whose topic matches its prefix. Messages
@@ -27,7 +28,10 @@ type Subscription struct {
 
 // NewBus returns an empty broker.
 func NewBus() *Bus {
-	return &Bus{subs: make(map[*Subscription]struct{})}
+	return &Bus{
+		subs:       make(map[*Subscription]struct{}),
+		topicDrops: make(map[string]uint64),
+	}
 }
 
 // Subscribe registers interest in topics beginning with prefix. The empty
@@ -60,6 +64,7 @@ func (b *Bus) Publish(m Message) int {
 			delivered++
 		default:
 			b.dropped++
+			b.topicDrops[m.Topic]++
 			s.mu.Lock()
 			s.dropped++
 			s.mu.Unlock()
@@ -74,6 +79,19 @@ func (b *Bus) Stats() (published, dropped uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.published, b.dropped
+}
+
+// TopicDrops returns a copy of the per-topic drop counts, so a loss
+// artifact (the paper's OpenMC zero reports) is attributable to the
+// progress stream that suffered it rather than a global total.
+func (b *Bus) TopicDrops() map[string]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]uint64, len(b.topicDrops))
+	for t, n := range b.topicDrops {
+		out[t] = n
+	}
+	return out
 }
 
 // C returns the subscription's receive channel. The channel is closed by

@@ -1,0 +1,175 @@
+package pubsub
+
+import (
+	"sync"
+	"time"
+
+	"progresscap/internal/simtime"
+)
+
+// ReconnectOptions tunes DialReconnect's retry behaviour.
+type ReconnectOptions struct {
+	// InitialBackoff is the delay before the first redial attempt
+	// (default 50 ms). Each failed attempt doubles it up to MaxBackoff
+	// (default 2 s); a successful connection resets it.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// Jitter is the ± fraction applied to every backoff sleep (default
+	// 0.2) so a fleet of monitors does not redial in lockstep after a
+	// publisher restart.
+	Jitter float64
+	// Seed drives the jitter RNG (default 1), keeping even the retry
+	// schedule reproducible.
+	Seed uint64
+	// Buffer is the receive channel depth (default 1024).
+	Buffer int
+}
+
+func (o *ReconnectOptions) fillDefaults() {
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Jitter <= 0 {
+		o.Jitter = 0.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 1024
+	}
+}
+
+// ReconnectingSubscriber is a Subscriber that survives transport
+// failures: when the connection to the publisher drops, it redials with
+// jittered exponential backoff, re-registers its topic prefixes, and
+// resumes delivery on the same channel. Messages published while
+// disconnected are lost (PUB/SUB has no replay); the ConnDrops and
+// Reconnects counters let consumers attribute the resulting silent gaps
+// to the transport instead of the application.
+type ReconnectingSubscriber struct {
+	addr     string
+	prefixes []string
+	opts     ReconnectOptions
+	ch       chan Message
+	done     chan struct{}
+
+	mu         sync.Mutex
+	cur        *Subscriber
+	closed     bool
+	connDrops  uint64
+	reconnects uint64
+}
+
+// DialReconnect returns a subscriber that keeps itself connected to the
+// publisher at addr. Unlike Dial it never fails: if the publisher is not
+// up yet, the subscriber keeps retrying in the background until Close.
+func DialReconnect(addr string, opts ReconnectOptions, prefixes ...string) *ReconnectingSubscriber {
+	opts.fillDefaults()
+	if len(prefixes) == 0 {
+		prefixes = []string{""}
+	}
+	r := &ReconnectingSubscriber{
+		addr:     addr,
+		prefixes: append([]string(nil), prefixes...),
+		opts:     opts,
+		ch:       make(chan Message, opts.Buffer),
+		done:     make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+// C returns the receive channel. It stays open across reconnects and is
+// closed only by Close.
+func (r *ReconnectingSubscriber) C() <-chan Message { return r.ch }
+
+// ConnDrops returns how many established connections have been lost.
+func (r *ReconnectingSubscriber) ConnDrops() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.connDrops
+}
+
+// Reconnects returns how many times the subscriber re-established a
+// connection after a drop (the resume-from-drop counter; the initial
+// connection is not counted).
+func (r *ReconnectingSubscriber) Reconnects() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reconnects
+}
+
+// Close stops the reconnect loop and closes the receive channel.
+func (r *ReconnectingSubscriber) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	cur := r.cur
+	r.mu.Unlock()
+	close(r.done)
+	if cur != nil {
+		cur.Close()
+	}
+	return nil
+}
+
+func (r *ReconnectingSubscriber) loop() {
+	defer close(r.ch)
+	rng := simtime.NewRNG(r.opts.Seed)
+	backoff := r.opts.InitialBackoff
+	connected := false
+	for {
+		sub, err := Dial(r.addr, r.prefixes...)
+		if err == nil {
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				sub.Close()
+				return
+			}
+			r.cur = sub
+			if connected || r.connDrops > 0 {
+				r.reconnects++
+			}
+			connected = true
+			r.mu.Unlock()
+			backoff = r.opts.InitialBackoff
+
+			for m := range sub.C() {
+				select {
+				case r.ch <- m:
+				case <-r.done:
+					sub.Close()
+					return
+				}
+			}
+			// The stream ended: either the transport dropped or Close ran.
+			r.mu.Lock()
+			r.cur = nil
+			if r.closed {
+				r.mu.Unlock()
+				return
+			}
+			r.connDrops++
+			r.mu.Unlock()
+		}
+
+		sleep := time.Duration(float64(backoff) * rng.Jitter(r.opts.Jitter))
+		select {
+		case <-time.After(sleep):
+		case <-r.done:
+			return
+		}
+		backoff *= 2
+		if backoff > r.opts.MaxBackoff {
+			backoff = r.opts.MaxBackoff
+		}
+	}
+}

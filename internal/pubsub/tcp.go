@@ -146,6 +146,23 @@ func (p *Publisher) Publish(m Message) int {
 	return delivered
 }
 
+// KickAll forcibly disconnects every current subscriber without stopping
+// the listener — the fault-injection surface for transport failures.
+// Subscribers that reconnect (see DialReconnect) are accepted again. It
+// returns how many connections were dropped.
+func (p *Publisher) KickAll() int {
+	p.mu.Lock()
+	conns := make([]*pubConn, 0, len(p.conns))
+	for pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	p.mu.Unlock()
+	for _, pc := range conns {
+		p.dropConn(pc)
+	}
+	return len(conns)
+}
+
 // NumSubscribers returns the number of live subscriber connections.
 func (p *Publisher) NumSubscribers() int {
 	p.mu.Lock()

@@ -1,0 +1,105 @@
+package rapl
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/msr"
+)
+
+func TestEnergyReaderSurvivesSeededWrap(t *testing.T) {
+	r := newRig(t)
+	// Seed the counter just below the 32-bit wrap, prime a reader, then
+	// advance the hardware past the wrap point.
+	r.ctl.SeedEnergy(0xFFFF_FF00)
+	er := NewEnergyReader(r.dev)
+	r.dev.Poke(msr.PkgEnergyStatus, (0xFFFF_FF00+0x200)&0xFFFF_FFFF)
+
+	u := msr.DecodeUnits(must(r.dev.Read(msr.RaplPowerUnit)))
+	got := er.Advance()
+	want := float64(0x200) * u.EnergyUnit()
+	if diff := got - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("wrapped delta = %v J, want %v J (naive cumulative read breaks here)", got, want)
+	}
+}
+
+func TestEnergyReaderRetriesAndCarriesLastGood(t *testing.T) {
+	dev := msr.NewDevice(1, nil)
+	er := NewEnergyReader(dev)
+
+	// Transient EIO: fail exactly the first access, retry succeeds.
+	calls := 0
+	dev.SetFaultHook(func(op msr.FaultOp, addr uint32) msr.FaultClass {
+		if op == msr.OpRead && addr == msr.PkgEnergyStatus {
+			calls++
+			if calls == 1 {
+				return msr.FaultEIO
+			}
+		}
+		return msr.FaultNone
+	})
+	dev.Poke(msr.PkgEnergyStatus, 100)
+	if dj := er.Advance(); dj <= 0 {
+		t.Fatalf("Advance with one transient EIO = %v, want the 100-unit delta", dj)
+	}
+	if er.Failures() != 0 {
+		t.Fatalf("failures = %d after recoverable EIO", er.Failures())
+	}
+
+	// Persistent EIO: the interval defers; next good read recovers it.
+	dev.SetFaultHook(func(op msr.FaultOp, addr uint32) msr.FaultClass {
+		if op == msr.OpRead && addr == msr.PkgEnergyStatus {
+			return msr.FaultEIO
+		}
+		return msr.FaultNone
+	})
+	dev.Poke(msr.PkgEnergyStatus, 200)
+	if dj := er.Advance(); dj != 0 {
+		t.Fatalf("Advance under persistent EIO = %v, want 0", dj)
+	}
+	if er.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", er.Failures())
+	}
+	dev.SetFaultHook(nil)
+	dev.Poke(msr.PkgEnergyStatus, 300)
+	u := msr.DecodeUnits(must(dev.Read(msr.RaplPowerUnit)))
+	got := er.Advance()
+	want := 200 * u.EnergyUnit() // 100 → 300: outage energy recovered
+	if diff := got - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("recovered delta = %v J, want %v J (outage energy not lost)", got, want)
+	}
+}
+
+func TestWriteLimitRetry(t *testing.T) {
+	dev := msr.NewDevice(1, nil)
+	fails := 0
+	dev.SetFaultHook(func(op msr.FaultOp, addr uint32) msr.FaultClass {
+		if op == msr.OpWrite && addr == msr.PkgPowerLimit && fails > 0 {
+			fails--
+			return msr.FaultEIO
+		}
+		return msr.FaultNone
+	})
+
+	fails = 1 // one transient failure: retry absorbs it
+	if err := WriteLimitRetry(dev, 90, time.Second); err != nil {
+		t.Fatalf("transient EIO not absorbed: %v", err)
+	}
+	raw, _ := dev.Read(msr.PkgPowerLimit)
+	u := msr.DecodeUnits(must(dev.Read(msr.RaplPowerUnit)))
+	if pl, _ := msr.DecodePowerLimits(raw, u); pl.Watts != 90 {
+		t.Fatalf("limit after retry = %v W, want 90", pl.Watts)
+	}
+
+	fails = 2 // persistent failure: surfaces
+	if err := WriteLimitRetry(dev, 80, time.Second); err != msr.ErrIO {
+		t.Fatalf("persistent EIO err = %v, want ErrIO", err)
+	}
+}
+
+func must(v uint64, err error) uint64 {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

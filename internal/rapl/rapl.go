@@ -126,6 +126,16 @@ func New(dev *msr.Device, domain *cpu.Domain, uncore *cpu.Uncore, model power.Mo
 // ControlPeriod returns the controller's actuation period.
 func (c *Controller) ControlPeriod() time.Duration { return c.opts.ControlPeriod }
 
+// SeedEnergy positions the package energy counter at an arbitrary raw
+// value and reflects it into the MSR, so a run starts mid-count the way a
+// long-booted node does. Fault plans use it to force an early 32-bit
+// wraparound; readers using wrap-safe deltas (EnergyReader) are
+// unaffected, cumulative-from-zero readers break.
+func (c *Controller) SeedEnergy(raw uint64) {
+	c.energy.SeedRaw(raw)
+	c.dev.Poke(msr.PkgEnergyStatus, c.energy.Raw())
+}
+
 // SetManual switches the controller into manual mode: it keeps updating
 // status registers but stops actuating frequency, duty, and bandwidth.
 // This is how the direct-DVFS power limiting technique (Fig 5) takes over
@@ -364,6 +374,88 @@ func WriteLimits(dev *msr.Device, pl1W float64, pl1Window time.Duration, pl2W fl
 		return err
 	}
 	return dev.Write(msr.PkgPowerLimit, msr.EncodePowerLimits(pl1, pl2, msr.DecodeUnits(raw)))
+}
+
+// WriteLimitRetry is WriteLimit hardened for transient MSR failures: an
+// ErrIO is retried once before being reported. Persistent failures still
+// surface so the policy layer can enter its degraded path.
+func WriteLimitRetry(dev *msr.Device, watts float64, window time.Duration) error {
+	err := WriteLimit(dev, watts, window)
+	if err == msr.ErrIO {
+		err = WriteLimit(dev, watts, window)
+	}
+	return err
+}
+
+// EnergyReader accumulates package energy from the wrapping
+// PKG_ENERGY_STATUS register with degraded-signal semantics: each Advance
+// computes a wraparound-safe delta from the previous raw reading, retries
+// a transient ErrIO once, and on persistent failure carries the last good
+// raw value forward so the next successful read recovers the missed
+// energy (the counter keeps accumulating through the outage; only reads
+// fail). This replaces cumulative-from-zero reads, which a mid-run seed
+// (SeedEnergy) or a 32-bit wrap silently corrupts.
+type EnergyReader struct {
+	dev     *msr.Device
+	prevRaw uint64
+	primed  bool
+	totalJ  float64
+	// Failures counts Advance calls that exhausted the retry, i.e.
+	// intervals whose energy was deferred to the next good read.
+	failures uint64
+}
+
+// NewEnergyReader returns a reader primed at the register's current
+// value, so the first Advance measures only energy consumed after
+// construction — regardless of where the counter was seeded.
+func NewEnergyReader(dev *msr.Device) *EnergyReader {
+	r := &EnergyReader{dev: dev}
+	if raw, err := readRetry(dev, msr.PkgEnergyStatus); err == nil {
+		r.prevRaw = raw
+		r.primed = true
+	}
+	return r
+}
+
+// Advance reads the counter and returns the joules consumed since the
+// previous successful read. On persistent read failure it returns 0 and a
+// nil error — the energy is not lost, it is attributed to the interval
+// ending at the next good read.
+func (r *EnergyReader) Advance() float64 {
+	raw, err := readRetry(r.dev, msr.PkgEnergyStatus)
+	if err != nil {
+		r.failures++
+		return 0
+	}
+	if !r.primed {
+		r.prevRaw = raw
+		r.primed = true
+		return 0
+	}
+	unitRaw, err := readRetry(r.dev, msr.RaplPowerUnit)
+	if err != nil {
+		r.failures++
+		return 0
+	}
+	dj := msr.DeltaJoules(r.prevRaw, raw, msr.DecodeUnits(unitRaw))
+	r.prevRaw = raw
+	r.totalJ += dj
+	return dj
+}
+
+// TotalJ returns the energy accumulated across all Advance calls.
+func (r *EnergyReader) TotalJ() float64 { return r.totalJ }
+
+// Failures returns how many Advance calls failed even after retry.
+func (r *EnergyReader) Failures() uint64 { return r.failures }
+
+// readRetry reads an MSR, retrying a transient ErrIO once.
+func readRetry(dev *msr.Device, addr uint32) (uint64, error) {
+	v, err := dev.Read(addr)
+	if err == msr.ErrIO {
+		v, err = dev.Read(addr)
+	}
+	return v, err
 }
 
 // ReadEnergyJ returns the cumulative package energy recorded in the MSR,
