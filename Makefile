@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race bench experiments figures clean
+.PHONY: all build vet test test-race race soak bench experiments figures clean
 
-all: build vet test test-race
+all: build vet test test-race soak
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ test-race:
 
 # Back-compat alias for the old target name.
 race: test-race
+
+# Chaos-restart soak: kill the supervised policy daemon at randomized
+# times and assert recovery invariants, under the race detector.
+# SOAK_ITERS scales the loop (default 2 in-test; bump for longer soaks).
+SOAK_ITERS ?= 4
+soak:
+	SOAK_ITERS=$(SOAK_ITERS) $(GO) test -race -run TestChaosRestartSoak -v ./internal/experiments/
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:

@@ -19,10 +19,11 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults); empty = all")
+	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes); empty = all")
 	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
 	reps := flag.Int("reps", 3, "repetitions per power cap (Figure 4)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
+	invariants := flag.Bool("invariants", false, "arm the engine-level safety invariant checker on every run; violations fail the artifact")
 	csvDir := flag.String("csv", "", "also write each artifact's tables as CSV files into this directory")
 	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
 	flag.Parse()
@@ -36,7 +37,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{RunSeconds: *seconds, Reps: *reps, Seed: *seed}
+	opts := experiments.Options{RunSeconds: *seconds, Reps: *reps, Seed: *seed, CheckInvariants: *invariants}
 
 	type gen struct {
 		id string
@@ -59,6 +60,7 @@ func main() {
 		{"ext-energy", experiments.ExtEnergy},
 		{"ext-method", experiments.ExtMethod},
 		{"ext-faults", experiments.ExtFaults},
+		{"ext-crashes", experiments.ExtCrashes},
 	}
 
 	want := map[string]bool{}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"progresscap/internal/apps"
@@ -126,8 +128,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer logFile.Close()
 		logEnc = json.NewEncoder(logFile)
+	}
+	// closeTelemetry fsyncs and closes the JSON-lines log exactly once;
+	// every exit path (clean, incomplete, interrupted) runs through it so
+	// a tail of buffered telemetry is never lost. Deliberately not a
+	// defer: the incomplete-workload path exits with os.Exit, which would
+	// skip it.
+	closeTelemetry := func() {
+		if logFile == nil {
+			return
+		}
+		if err := logFile.Sync(); err != nil {
+			log.Printf("telemetry log sync: %v", err)
+		}
+		if err := logFile.Close(); err != nil {
+			log.Printf("telemetry log close: %v", err)
+		}
+		logFile = nil
 	}
 
 	fmt.Printf("# app=%s metric=%q scheme=%s\n", info.Name, w.Metric, scheme.Name())
@@ -162,13 +180,45 @@ func main() {
 		}
 	})
 
-	res, err := e.Run(time.Duration(*seconds*6) * time.Second)
+	// Advance window-by-window so SIGINT/SIGTERM can interrupt between
+	// aggregation windows: the final partial window is still flushed (by
+	// Finish), the telemetry log is fsynced, and the summary line prints
+	// — a Ctrl-C mid-experiment leaves a complete, parseable record.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	maxDur := time.Duration(*seconds*6) * time.Second
+	interrupted := false
+loop:
+	for e.Clock().Now() < maxDur {
+		select {
+		case s := <-sigCh:
+			log.Printf("received %v: flushing final window", s)
+			interrupted = true
+			break loop
+		default:
+		}
+		done, err := e.Advance(time.Second)
+		if err != nil {
+			closeTelemetry()
+			log.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	res, err := e.Finish()
 	if err != nil {
+		closeTelemetry()
 		log.Fatal(err)
 	}
 	fmt.Printf("# completed=%v elapsed=%.1fs energy=%.0fJ mean=%.2f %s, %d reports (%d dropped)\n",
 		res.Completed, res.Elapsed.Seconds(), res.EnergyJ, res.MeanRate(), w.Metric,
 		len(res.Samples), res.Dropped)
+	closeTelemetry()
+	if interrupted {
+		fmt.Println("# interrupted: partial run, telemetry flushed")
+		return
+	}
 	if !res.Completed {
 		os.Exit(1)
 	}

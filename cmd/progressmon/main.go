@@ -12,6 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"progresscap/internal/progress"
@@ -43,6 +46,9 @@ func main() {
 	defer ticker.Stop()
 	start := time.Now()
 
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
 	finish := func() {
 		b := progress.Classify(mon.Rates())
 		log.Printf("stream ended: %d reports, behavior %s, %d phase changes",
@@ -50,6 +56,17 @@ func main() {
 	}
 	for {
 		select {
+		case s := <-sigCh:
+			// Graceful stop: flush the final (partial) aggregation window
+			// so its reports show in the summary, then summarize.
+			last := mon.Flush(time.Since(start))
+			if last.Reports > 0 {
+				fmt.Printf("%8.1fs  rate=%12.2f/s  reports=%d  phase=%s   <- final partial window\n",
+					last.At.Seconds(), last.Rate, last.Reports, last.Phase)
+			}
+			log.Printf("received %v", s)
+			finish()
+			return
 		case m, ok := <-sub.C():
 			if !ok {
 				finish()

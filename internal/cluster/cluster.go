@@ -216,11 +216,14 @@ type Node struct {
 	result   *engine.Result
 
 	// Watchdog state: a node whose monitor sample count stops moving for
-	// FailureEpochs consecutive epochs is fenced (failed = true) until
-	// its stream resumes.
+	// FailureEpochs consecutive epochs is fenced (failed = true); a
+	// fenced node must then keep samples flowing for ProbationEpochs
+	// consecutive epochs before it is un-fenced and gets its budget
+	// share back.
 	failed         bool
 	lastSamples    int
 	stagnantEpochs int
+	freshEpochs    int
 }
 
 // Name returns the node's name.
@@ -284,6 +287,13 @@ type Manager struct {
 	// stream may stay frozen before the watchdog fences it (default 3).
 	FailureEpochs int
 
+	// ProbationEpochs is how many consecutive epochs a fenced node must
+	// keep samples flowing before the watchdog un-fences it and returns
+	// its budget share (default 3). Without it, a flapping node would
+	// bounce in and out of the allocation every epoch, destabilizing
+	// every healthy node's cap.
+	ProbationEpochs int
+
 	faults *fault.Injector
 
 	epoch    int
@@ -311,7 +321,8 @@ func NewManager(policy Policy, budget BudgetFunc, nodes ...*Node) (*Manager, err
 		}
 		seen[n.name] = true
 	}
-	return &Manager{nodes: nodes, policy: policy, budget: budget, UncappedEpochs: 2, FailureEpochs: 3, budgetOverride: -1}, nil
+	return &Manager{nodes: nodes, policy: policy, budget: budget,
+		UncappedEpochs: 2, FailureEpochs: 3, ProbationEpochs: 3, budgetOverride: -1}, nil
 }
 
 // SetFaults installs a fault injector whose per-node plans (crash,
@@ -526,8 +537,12 @@ func (m *Manager) nodeFaults(n *Node) *fault.Node {
 }
 
 // watchdog fences a node whose monitor sample count has not moved for
-// FailureEpochs consecutive epochs, and unfences it the moment samples
-// resume. Done nodes are never fenced — a finished stream is silent by
+// FailureEpochs consecutive epochs. A fenced node is un-fenced only
+// after a clean probation: samples flowing for ProbationEpochs
+// consecutive epochs. One fresh window is not enough — a node rebooting
+// in a crash loop emits a burst of reports each time, and handing its
+// budget share back on every burst would whipsaw the healthy nodes'
+// caps. Done nodes are never fenced — a finished stream is silent by
 // design.
 func (m *Manager) watchdog(n *Node) {
 	count := len(n.eng.Monitor().Samples())
@@ -536,16 +551,30 @@ func (m *Manager) watchdog(n *Node) {
 	if n.eng.Done() {
 		n.failed = false
 		n.stagnantEpochs = 0
+		n.freshEpochs = 0
 		return
 	}
-	if fresh {
+	if !n.failed {
+		if fresh {
+			n.stagnantEpochs = 0
+			return
+		}
+		n.stagnantEpochs++
+		if n.stagnantEpochs >= m.FailureEpochs {
+			n.failed = true
+			n.freshEpochs = 0
+		}
+		return
+	}
+	if !fresh {
+		n.freshEpochs = 0 // probation restarts on any silent epoch
+		return
+	}
+	n.freshEpochs++
+	if n.freshEpochs >= m.ProbationEpochs {
 		n.failed = false
 		n.stagnantEpochs = 0
-		return
-	}
-	n.stagnantEpochs++
-	if n.stagnantEpochs >= m.FailureEpochs {
-		n.failed = true
+		n.freshEpochs = 0
 	}
 }
 

@@ -109,6 +109,82 @@ func TestNodeCrashDetectedAndRedistributed(t *testing.T) {
 	}
 }
 
+// TestNodeRecoveryUnfencesAfterProbation: a crashed node that comes back
+// (RecoverAt) is un-fenced only after ProbationEpochs consecutive epochs
+// of flowing samples, and then gets its equal budget share back while
+// the survivors drop back to theirs.
+func TestNodeRecoveryUnfencesAfterProbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	const budget = 360
+	m, err := NewManager(EqualSplit{}, ConstantBudget(budget),
+		newNode(t, "n0", apps.LAMMPS(apps.DefaultRanks, 1600), 0, 1),
+		newNode(t, "n1", apps.LAMMPS(apps.DefaultRanks, 1600), 0, 2),
+		newNode(t, "n2", apps.LAMMPS(apps.DefaultRanks, 1600), 0, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt, recoverAt := 8*time.Second, 14*time.Second
+	m.SetFaults(fault.NewInjector(fault.Plan{Nodes: map[string]fault.NodePlan{
+		"n1": {CrashAt: crashAt, RecoverAt: recoverAt},
+	}}))
+	res, err := m.Run(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := m.FailedNodes(); len(failed) != 0 {
+		t.Fatalf("FailedNodes() = %v after recovery, want none", failed)
+	}
+
+	var recovered *Node
+	for _, n := range res.Nodes {
+		if n.Name() == "n1" {
+			recovered = n
+		}
+	}
+	fencedAt, unfencedAt := time.Duration(-1), time.Duration(-1)
+	for i := 0; i < recovered.CapTrace().Len(); i++ {
+		p := recovered.CapTrace().At(i)
+		if fencedAt < 0 && p.V == QuarantineCapW {
+			fencedAt = p.T
+		}
+		if fencedAt >= 0 && unfencedAt < 0 && p.V != QuarantineCapW {
+			unfencedAt = p.T
+			if want := budget / 3.0; p.V != want {
+				t.Fatalf("un-fenced cap %v W, want the %v W equal share back", p.V, want)
+			}
+		}
+	}
+	if fencedAt < 0 {
+		t.Fatal("crashed node never quarantined")
+	}
+	if unfencedAt < 0 {
+		t.Fatal("recovered node never un-fenced")
+	}
+	// Un-fencing must wait out probation: not before ProbationEpochs of
+	// flowing samples after recovery, but within a couple epochs after.
+	if min := recoverAt + time.Duration(m.ProbationEpochs)*Epoch; unfencedAt < min {
+		t.Fatalf("un-fenced at %v, before the probation floor %v", unfencedAt, min)
+	}
+	if max := recoverAt + time.Duration(m.ProbationEpochs+3)*Epoch; unfencedAt > max {
+		t.Fatalf("un-fenced at %v, want <= %v", unfencedAt, max)
+	}
+
+	// Survivors drop back to the equal three-way share once the budget
+	// share is returned.
+	for _, n := range res.Nodes {
+		if n.Name() == "n1" {
+			continue
+		}
+		last := n.CapTrace().At(n.CapTrace().Len() - 1)
+		if last.T > unfencedAt && last.V != budget/3.0 {
+			t.Fatalf("survivor %s final cap %v W, want %v W", n.Name(), last.V, budget/3.0)
+		}
+	}
+}
+
 // TestSlowdownThrottlesNode verifies the injector's frequency-ceiling
 // fault reaches the node's DVFS domain: after SlowAt the node's online
 // rate drops roughly with the ceiling while a healthy peer holds steady.

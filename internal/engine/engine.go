@@ -230,6 +230,9 @@ type Engine struct {
 	// nothing).
 	faults    *fault.Injector
 	pubFaults *fault.PubSub
+
+	// Invariant checker (nil unless EnableInvariants was called).
+	inv *invariantChecker
 }
 
 type busPublisher struct{ e *Engine }
@@ -396,6 +399,13 @@ func (e *Engine) SetFaults(inj *fault.Injector) {
 
 // Faults returns the installed fault injector (nil in a clean run).
 func (e *Engine) Faults() *fault.Injector { return e.faults }
+
+// SetDeadman arms the RAPL cap deadman: the policy side must re-write
+// PKG_POWER_LIMIT within the TTL or the package reverts to the
+// firmware-default cap. This is the hardware-side backstop that keeps a
+// crashed policy daemon from stranding the node at a stale cap. Call
+// before the first Advance.
+func (e *Engine) SetDeadman(dm rapl.Deadman) error { return e.ctl.SetDeadman(dm) }
 
 // SetFreqCeiling imposes (or, with 0, clears) a hardware frequency
 // ceiling on the node — the cluster layer's surface for injecting a
@@ -629,9 +639,14 @@ func (e *Engine) flushWindow(now time.Duration) {
 
 	// Window-average power from the energy integral.
 	eNow := e.meter.EnergyJ()
-	e.res.PowerTrace.Add(now, (eNow-e.energyMark)/winSec)
+	winAvgW := (eNow - e.energyMark) / winSec
+	e.res.PowerTrace.Add(now, winAvgW)
 	e.energyMark = eNow
 	e.lastFlush = now
+
+	if e.inv != nil {
+		e.checkInvariants(now, winSec, winAvgW)
+	}
 
 	e.res.CoreTrace.Add(now, e.meter.Last().CoreW)
 	e.res.FreqTrace.Add(now, e.domain.CurrentMHz())

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/msr"
+	"progresscap/internal/policy"
+	"progresscap/internal/workload"
+)
+
+func invariantWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	return apps.LAMMPS(apps.DefaultRanks, 2000)
+}
+
+// TestInvariantsCleanRun: a normal capped run stays inside the safety
+// envelope — the checker must stay silent.
+func TestInvariantsCleanRun(t *testing.T) {
+	e, err := New(DefaultConfig(), invariantWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetScheme(policy.Step{HighW: 0, LowW: 90, HighFor: 3 * time.Second, LowFor: 3 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	e.EnableInvariants(InvariantConfig{})
+	if _, err := e.Run(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.InvariantViolations(); len(v) != 0 {
+		t.Fatalf("clean run violated invariants: %v", v)
+	}
+}
+
+// TestInvariantsCatchOutOfRangeCap: a cap programmed outside [min, TDP]
+// must be flagged. The policy layer would normally never do this; the
+// checker exists to catch exactly the "normally never" cases a corrupt
+// journal replay or a buggy division policy could produce.
+func TestInvariantsCatchOutOfRangeCap(t *testing.T) {
+	e, err := New(DefaultConfig(), invariantWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 W: far below any runnable cap.
+	if err := e.SetScheme(policy.Constant{Watts: 8}); err != nil {
+		t.Fatal(err)
+	}
+	e.EnableInvariants(InvariantConfig{})
+	if _, err := e.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range e.InvariantViolations() {
+		if v.Rule == "cap-range" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("8 W cap not flagged; violations: %v", e.InvariantViolations())
+	}
+}
+
+// TestInvariantsDisabledByDefault: without EnableInvariants the checker
+// neither runs nor allocates.
+func TestInvariantsDisabledByDefault(t *testing.T) {
+	e, err := New(DefaultConfig(), invariantWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.InvariantViolations() != nil {
+		t.Fatal("violations non-nil with checker disabled")
+	}
+}
+
+// TestInvariantsCatchActuationFlap: rewriting the cap register far above
+// the policy-plane rate is flagged as a flapping control loop.
+func TestInvariantsCatchActuationFlap(t *testing.T) {
+	e, err := New(DefaultConfig(), invariantWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableInvariants(InvariantConfig{})
+	// Flap the cap register 50× within one window via the whitelisted
+	// interface, as a runaway policy daemon would.
+	for i := 0; i < 50; i++ {
+		if err := e.Device().Write(msr.PkgPowerLimit, uint64(0x8000|(0x300+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range e.InvariantViolations() {
+		if v.Rule == "actuation-rate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cap flapping not flagged; violations: %v", e.InvariantViolations())
+	}
+}

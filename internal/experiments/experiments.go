@@ -38,6 +38,12 @@ type Options struct {
 	Reps int
 	// Seed is the base RNG seed; repetition k uses Seed+k.
 	Seed uint64
+	// CheckInvariants arms the engine-level safety invariant checker
+	// (cap range, monotonic energy, bounded actuation rate) on every run
+	// the harness performs; any violation fails the artifact. Tests and
+	// the chaos harness enable it unconditionally; cmd/experiments
+	// exposes it as -invariants.
+	CheckInvariants bool
 }
 
 // DefaultOptions returns the standard harness scale: 12-second runs,
@@ -101,32 +107,54 @@ func (a *Artifact) Render() string {
 
 // run executes one workload under a scheme (nil = uncapped) and returns
 // the result. All experiment runs share this path so they use the same
-// node configuration.
-func run(w *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) (*engine.Result, error) {
+// node configuration (and the same invariant checking, when enabled).
+func (o Options) run(w *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) (*engine.Result, error) {
 	cfg := engine.DefaultConfig()
 	cfg.Seed = seed
 	e, err := engine.New(cfg, w)
 	if err != nil {
 		return nil, err
+	}
+	if o.CheckInvariants {
+		e.EnableInvariants(engine.InvariantConfig{})
 	}
 	if scheme != nil {
 		if err := e.SetScheme(scheme); err != nil {
 			return nil, err
 		}
 	}
-	return e.Run(time.Duration(maxSeconds * float64(time.Second)))
+	res, err := e.Run(time.Duration(maxSeconds * float64(time.Second)))
+	if err != nil {
+		return nil, err
+	}
+	return res, invariantErr(e)
 }
 
 // runDVFS executes one workload pinned at a frequency with RAPL manual.
-func runDVFS(w *workload.Workload, mhz float64, seed uint64, maxSeconds float64) (*engine.Result, error) {
+func (o Options) runDVFS(w *workload.Workload, mhz float64, seed uint64, maxSeconds float64) (*engine.Result, error) {
 	cfg := engine.DefaultConfig()
 	cfg.Seed = seed
 	e, err := engine.New(cfg, w)
 	if err != nil {
 		return nil, err
 	}
+	if o.CheckInvariants {
+		e.EnableInvariants(engine.InvariantConfig{})
+	}
 	e.SetManualDVFS(mhz)
-	return e.Run(time.Duration(maxSeconds * float64(time.Second)))
+	res, err := e.Run(time.Duration(maxSeconds * float64(time.Second)))
+	if err != nil {
+		return nil, err
+	}
+	return res, invariantErr(e)
+}
+
+// invariantErr folds a run's invariant violations into an error.
+func invariantErr(e *engine.Engine) error {
+	if v := e.InvariantViolations(); len(v) > 0 {
+		return fmt.Errorf("experiments: %d invariant violations, first: %s", len(v), v[0])
+	}
+	return nil
 }
 
 // steadyRates drops the warm-up and final windows of a run and returns

@@ -50,7 +50,7 @@ func ExtAlphaFit(opts Options) (*Artifact, error) {
 			return nil, fmt.Errorf("ext-alpha: %s: %w", c.name, err)
 		}
 		measure := func(capW float64) (float64, error) {
-			res, err := run(c.w, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+			res, err := opts.run(c.w, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
 			if err != nil {
 				return 0, err
 			}
@@ -105,7 +105,7 @@ func ExtTechniques(opts Options) (*Artifact, error) {
 		"STREAM": func() *workload.Workload { return apps.STREAM(apps.DefaultRanks, int(opts.RunSeconds*24)) },
 	}
 	for _, appName := range []string{"LAMMPS", "STREAM"} {
-		baseRes, err := runDVFS(mk[appName](), 3300, opts.Seed, opts.RunSeconds)
+		baseRes, err := opts.runDVFS(mk[appName](), 3300, opts.Seed, opts.RunSeconds)
 		if err != nil {
 			return nil, err
 		}
@@ -117,14 +117,14 @@ func ExtTechniques(opts Options) (*Artifact, error) {
 				fmt.Sprintf("%.3f", stats.Mean(steadyRates(res, 2))/base))
 		}
 		for _, capW := range []float64{130, 90} {
-			res, err := run(mk[appName](), policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+			res, err := opts.run(mk[appName](), policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
 			if err != nil {
 				return nil, err
 			}
 			add("RAPL", fmt.Sprintf("cap %.0f W", capW), res)
 		}
 		for _, mhz := range []float64{2300, 1400} {
-			res, err := runDVFS(mk[appName](), mhz, opts.Seed, opts.RunSeconds)
+			res, err := opts.runDVFS(mk[appName](), mhz, opts.Seed, opts.RunSeconds)
 			if err != nil {
 				return nil, err
 			}
@@ -271,7 +271,7 @@ func ExtEnergy(opts Options) (*Artifact, error) {
 			if capW > 0 {
 				scheme = policy.Constant{Watts: capW}
 			}
-			res, err := run(mk(), scheme, opts.Seed, opts.RunSeconds*8)
+			res, err := opts.run(mk(), scheme, opts.Seed, opts.RunSeconds*8)
 			if err != nil {
 				return nil, fmt.Errorf("ext-energy: %s cap %v: %w", appName, capW, err)
 			}

@@ -80,7 +80,7 @@ func Figure4Data(opts Options) ([]Fig4App, error) {
 		for _, capW := range caps {
 			var drops []float64
 			for rep := 0; rep < opts.Reps; rep++ {
-				res, err := run(w, policy.Constant{Watts: capW}, opts.Seed+uint64(rep)*101, c.secs)
+				res, err := opts.run(w, policy.Constant{Watts: capW}, opts.Seed+uint64(rep)*101, c.secs)
 				if err != nil {
 					return nil, fmt.Errorf("figure4: %s cap %v rep %d: %w", c.name, capW, rep, err)
 				}

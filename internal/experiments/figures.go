@@ -43,7 +43,7 @@ func Figure1(opts Options) (*Artifact, error) {
 		Title: "Characterizing online performance (uncapped)",
 	}
 	for _, c := range cases {
-		res, err := run(c.w, nil, opts.Seed, secs*2)
+		res, err := opts.run(c.w, nil, opts.Seed, secs*2)
 		if err != nil {
 			return nil, fmt.Errorf("fig1: %s: %w", c.name, err)
 		}
@@ -81,7 +81,7 @@ func Figure2(opts Options) (*Artifact, error) {
 	var lF, sF []float64
 	for _, capW := range caps {
 		freq := func(w *workload.Workload) (float64, error) {
-			res, err := run(w, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+			res, err := opts.run(w, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
 			if err != nil {
 				return 0, err
 			}
@@ -155,7 +155,7 @@ func Figure3(opts Options) (*Artifact, error) {
 	}
 	for _, sch := range schemes {
 		for _, wl := range workloads {
-			res, err := run(wl.mk(), sch, opts.Seed, secs)
+			res, err := opts.run(wl.mk(), sch, opts.Seed, secs)
 			if err != nil {
 				return nil, fmt.Errorf("fig3: %s/%s: %w", sch.Name(), wl.name, err)
 			}
@@ -270,7 +270,7 @@ func Figure5(opts Options) (*Artifact, error) {
 	var raplPts, dvfsPts []powerRatePoint
 
 	for _, capW := range []float64{150, 130, 110, 90, 70, 55} {
-		res, err := run(mkStream(), policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+		res, err := opts.run(mkStream(), policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
 		if err != nil {
 			return nil, fmt.Errorf("fig5: rapl %v: %w", capW, err)
 		}
@@ -281,7 +281,7 @@ func Figure5(opts Options) (*Artifact, error) {
 			trace.Formatted(p), fmt.Sprintf("%.2f", r))
 	}
 	for _, mhz := range []float64{3300, 2800, 2300, 1800, 1300, 1000} {
-		res, err := runDVFS(mkStream(), mhz, opts.Seed, opts.RunSeconds)
+		res, err := opts.runDVFS(mkStream(), mhz, opts.Seed, opts.RunSeconds)
 		if err != nil {
 			return nil, fmt.Errorf("fig5: dvfs %v: %w", mhz, err)
 		}

@@ -21,7 +21,7 @@ func ExtMethod(opts Options) (*Artifact, error) {
 	caps := []float64{140, 110, 80}
 
 	// Uncapped baseline.
-	base, err := runDVFS(apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*20)), 3300, opts.Seed, opts.RunSeconds*2)
+	base, err := opts.runDVFS(apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*20)), 3300, opts.Seed, opts.RunSeconds*2)
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +31,7 @@ func ExtMethod(opts Options) (*Artifact, error) {
 	var worst float64
 	for _, capW := range caps {
 		// Method 1: steady constant cap.
-		resConst, err := run(apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*20)),
+		resConst, err := opts.run(apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*20)),
 			policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
 		if err != nil {
 			return nil, err
@@ -40,7 +40,7 @@ func ExtMethod(opts Options) (*Artifact, error) {
 
 		// Method 2: the paper's step schedule, measuring stable windows
 		// of each half.
-		dStep, err := stepDropLAMMPS(int(opts.RunSeconds*20*5), capW, opts.Seed, opts.RunSeconds*5)
+		dStep, err := stepDropLAMMPS(opts, int(opts.RunSeconds*20*5), capW, opts.Seed, opts.RunSeconds*5)
 		if err != nil {
 			return nil, err
 		}
@@ -66,10 +66,10 @@ func ExtMethod(opts Options) (*Artifact, error) {
 // stepDropLAMMPS measures Δprogress with the paper's step schedule:
 // alternate uncapped/capped 8 s halves, comparing only windows whose cap
 // has been stable for two windows (skipping transitions).
-func stepDropLAMMPS(steps int, capW float64, seed uint64, maxSeconds float64) (float64, error) {
+func stepDropLAMMPS(opts Options, steps int, capW float64, seed uint64, maxSeconds float64) (float64, error) {
 	scheme := policy.Step{HighW: policy.Uncapped, LowW: capW,
 		HighFor: 8 * time.Second, LowFor: 8 * time.Second}
-	res, err := run(apps.LAMMPS(apps.DefaultRanks, steps), scheme, seed, maxSeconds)
+	res, err := opts.run(apps.LAMMPS(apps.DefaultRanks, steps), scheme, seed, maxSeconds)
 	if err != nil {
 		return 0, err
 	}

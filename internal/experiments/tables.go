@@ -20,7 +20,7 @@ func Table1(opts Options) (*Artifact, error) {
 
 	for _, equal := range []bool{true, false} {
 		w := apps.ImbalanceSample(24, 5, equal, 1.0)
-		res, err := run(w, nil, opts.Seed, 30)
+		res, err := opts.run(w, nil, opts.Seed, 30)
 		if err != nil {
 			return nil, err
 		}
@@ -134,11 +134,11 @@ func characterizableScaled(opts Options, openmcSecs float64) []charCase {
 // uncapped progress rate and package power from the fast run, which
 // Figure 4 reuses as its baseline.
 func CharacterizeBeta(w *workload.Workload, seed uint64, maxSeconds float64) (beta, mpo, rate, pkgW float64, err error) {
-	fast, err := runDVFS(w, 3300, seed, maxSeconds)
+	fast, err := Options{}.runDVFS(w, 3300, seed, maxSeconds)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	slow, err := runDVFS(w, 1600, seed, maxSeconds*2.5)
+	slow, err := Options{}.runDVFS(w, 1600, seed, maxSeconds*2.5)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}

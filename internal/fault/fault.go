@@ -117,6 +117,11 @@ type NodePlan struct {
 	// its engine is no longer advanced and its progress stream goes
 	// silent (the job manager must detect and fence it).
 	CrashAt time.Duration
+	// RecoverAt, when positive, revives a crashed node at that virtual
+	// time (a reboot): its engine advances and reports again, and the
+	// job manager may un-fence it after a clean probation. Zero means
+	// the crash is permanent.
+	RecoverAt time.Duration
 	// SlowAt, when positive, throttles the node from that time on.
 	SlowAt time.Duration
 	// SlowFactor is the fraction of the node's maximum frequency the

@@ -110,9 +110,13 @@ type Node struct {
 	plan NodePlan
 }
 
-// Crashed reports whether the node is dead at virtual time now.
+// Crashed reports whether the node is dead at virtual time now: from
+// CrashAt until RecoverAt (forever, when RecoverAt is zero).
 func (n *Node) Crashed(now time.Duration) bool {
-	return n.plan.CrashAt > 0 && now >= n.plan.CrashAt
+	if n.plan.CrashAt <= 0 || now < n.plan.CrashAt {
+		return false
+	}
+	return n.plan.RecoverAt <= 0 || now < n.plan.RecoverAt
 }
 
 // FreqCeilingFrac returns the fraction of maximum frequency available at

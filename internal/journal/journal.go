@@ -1,0 +1,401 @@
+// Package journal is the crash-safety spine of the control plane: an
+// append-only, CRC-framed write-ahead log of every cap decision, model
+// fit, and trust-state transition the policy daemon makes.
+//
+// The paper's setup assumes the NRM daemon never dies; in production the
+// daemon is exactly the component that crashes or gets OOM-killed while
+// the RAPL cap it programmed stays latched in hardware. The journal makes
+// the daemon crash-only: every externally visible action is logged
+// *before* it takes effect, and a restarted daemon replays the log to
+// restore its pre-crash cap, β-fit, and degraded-signal backoff state
+// instead of re-calibrating against a plant that is still capped.
+//
+// # Frame format
+//
+// Each record is framed independently so a torn final write can never
+// corrupt the records before it:
+//
+//	offset  size  field
+//	0       1     magic (0xA5)
+//	1       3     payload length, little-endian (max 1 MiB)
+//	4       4     CRC32 (IEEE) of the payload
+//	8       n     payload (JSON-encoded Record)
+//
+// Replay reads frames until EOF. A short header, short payload, bad
+// magic, implausible length, or CRC mismatch marks the *tail* as
+// damaged: everything before it is returned, everything from the first
+// bad byte on is dropped and reported, never mis-replayed. There is no
+// resynchronization past a bad frame — after a torn write, anything that
+// follows is untrustworthy by construction.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// frameMagic guards every frame header; random garbage at the tail of a
+// torn file is overwhelmingly unlikely to match it.
+const frameMagic = 0xA5
+
+// maxPayload bounds a frame so a corrupt length field cannot make replay
+// attempt a gigabyte allocation.
+const maxPayload = 1 << 20
+
+const headerSize = 8
+
+// Kind discriminates record payloads.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindCapDecision logs one epoch's enforcement choice (the cap or
+	// frequency the daemon is about to actuate).
+	KindCapDecision Kind = iota + 1
+	// KindModelFit logs the parameters of a completed model fit.
+	KindModelFit
+	// KindTrustTransition logs one degraded-signal state machine edge,
+	// including the backoff it left behind.
+	KindTrustTransition
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCapDecision:
+		return "cap-decision"
+	case KindModelFit:
+		return "model-fit"
+	case KindTrustTransition:
+		return "trust-transition"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Record is one journal entry. A single struct covers all kinds (unused
+// fields stay zero) so replay needs no type registry; Kind says which
+// fields are meaningful.
+type Record struct {
+	Kind  Kind          `json:"k"`
+	Epoch int           `json:"e"`
+	At    time.Duration `json:"t"`
+
+	// KindCapDecision.
+	BudgetW float64 `json:"bw,omitempty"`
+	Knob    int     `json:"kn,omitempty"`
+	Setting float64 `json:"set,omitempty"`
+	Mode    int     `json:"m,omitempty"`
+
+	// KindModelFit.
+	Beta     float64 `json:"beta,omitempty"`
+	BaseRate float64 `json:"br,omitempty"`
+	BasePowW float64 `json:"bp,omitempty"`
+
+	// KindTrustTransition.
+	From    int    `json:"from,omitempty"`
+	To      int    `json:"to,omitempty"`
+	Backoff int    `json:"bo,omitempty"`
+	Reason  string `json:"why,omitempty"`
+}
+
+// syncer is what a Writer calls after each append when the underlying
+// sink supports it (os.File does).
+type syncer interface{ Sync() error }
+
+// Writer appends framed records to a sink. It is safe for concurrent
+// use. Appends are write-ahead: the frame is fully written (and fsynced,
+// when the sink supports Sync) before Append returns, so a caller that
+// actuates hardware only after Append returns can always recover the
+// actuation from the journal.
+type Writer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	sync    syncer
+	closed  bool
+	appends int
+}
+
+// NewWriter wraps a sink. If the sink implements Sync (an *os.File), every
+// Append is durable before it returns.
+func NewWriter(w io.Writer) *Writer {
+	jw := &Writer{w: w}
+	if s, ok := w.(syncer); ok {
+		jw.sync = s
+	}
+	return jw
+}
+
+// Create truncates/creates the journal file at path and returns a Writer
+// over it. The caller owns closing via Close.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	return NewWriter(f), nil
+}
+
+// Open opens (or creates) the journal at path for appending — the
+// restart path: ReplayFile the existing log first, then Open to keep
+// journaling after the recovered record. A damaged tail left by the
+// crash stays in the file; replay drops it deterministically on every
+// subsequent recovery, so appending after it is safe only once the
+// caller truncates — which Open does, to exactly the replayable prefix.
+func Open(path string) (*Writer, error) {
+	_, st, err := ReplayFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.DroppedBytes > 0 {
+		// Cut the torn tail so new frames land on a clean frame boundary;
+		// otherwise every future replay would stop at the old damage and
+		// silently drop everything appended after it.
+		info, serr := os.Stat(path)
+		if serr != nil {
+			return nil, fmt.Errorf("journal: stat: %w", serr)
+		}
+		if terr := os.Truncate(path, info.Size()-int64(st.DroppedBytes)); terr != nil {
+			return nil, fmt.Errorf("journal: truncating damaged tail: %w", terr)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	return NewWriter(f), nil
+}
+
+// Append frames, writes, and syncs one record.
+func (w *Writer) Append(rec Record) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: append after Close")
+	}
+	if _, err := w.w.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if w.sync != nil {
+		if err := w.sync.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	w.appends++
+	return nil
+}
+
+// Appends returns how many records this writer has durably appended.
+func (w *Writer) Appends() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends
+}
+
+// Close syncs and, when the sink is a closer, closes it. Further Appends
+// fail.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.sync != nil {
+		if err := w.sync.Sync(); err != nil {
+			return err
+		}
+	}
+	if c, ok := w.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+func encodeFrame(rec Record) ([]byte, error) {
+	if rec.Kind == 0 {
+		return nil, fmt.Errorf("journal: record without kind")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("journal: payload %d exceeds %d bytes", len(payload), maxPayload)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	frame[0] = frameMagic
+	frame[1] = byte(len(payload))
+	frame[2] = byte(len(payload) >> 8)
+	frame[3] = byte(len(payload) >> 16)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+	return frame, nil
+}
+
+// ReplayStats describes what Replay found beyond the clean records.
+type ReplayStats struct {
+	// Records is how many intact records were decoded.
+	Records int
+	// DamagedTail is true when the log ended in a torn or corrupt frame
+	// (short header, short payload, bad magic, implausible length, CRC
+	// mismatch, or undecodable payload).
+	DamagedTail bool
+	// TailError describes the damage (empty when the tail was clean).
+	TailError string
+	// DroppedBytes is how many trailing bytes were discarded.
+	DroppedBytes int
+}
+
+// Replay decodes every intact record from r. A damaged tail is not an
+// error: the intact prefix is returned and the damage is described in
+// the stats, because recovering yesterday's good decisions matters more
+// than the torn final write that crashed the daemon. Only a read failure
+// of the underlying stream returns a non-nil error.
+func Replay(r io.Reader) ([]Record, ReplayStats, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, ReplayStats{}, fmt.Errorf("journal: replay read: %w", err)
+	}
+	return ReplayBytes(data)
+}
+
+// ReplayBytes is Replay over an in-memory image.
+func ReplayBytes(data []byte) ([]Record, ReplayStats, error) {
+	var recs []Record
+	var st ReplayStats
+	off := 0
+	damage := func(format string, args ...interface{}) {
+		st.DamagedTail = true
+		st.TailError = fmt.Sprintf(format, args...)
+		st.DroppedBytes = len(data) - off
+	}
+	for off < len(data) {
+		if len(data)-off < headerSize {
+			damage("truncated header: %d bytes", len(data)-off)
+			break
+		}
+		h := data[off : off+headerSize]
+		if h[0] != frameMagic {
+			damage("bad frame magic 0x%02x at offset %d", h[0], off)
+			break
+		}
+		n := int(h[1]) | int(h[2])<<8 | int(h[3])<<16
+		if n > maxPayload {
+			damage("implausible payload length %d at offset %d", n, off)
+			break
+		}
+		if len(data)-off-headerSize < n {
+			damage("truncated payload: want %d bytes, have %d", n, len(data)-off-headerSize)
+			break
+		}
+		payload := data[off+headerSize : off+headerSize+n]
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(h[4:8]); got != want {
+			damage("CRC mismatch at offset %d: %08x != %08x", off, got, want)
+			break
+		}
+		var rec Record
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil || rec.Kind == 0 {
+			damage("undecodable payload at offset %d: %v", off, err)
+			break
+		}
+		recs = append(recs, rec)
+		st.Records++
+		off += headerSize + n
+	}
+	return recs, st, nil
+}
+
+// ReplayFile replays the journal at path. A missing file is an empty
+// journal, not an error — a first boot has nothing to recover.
+func ReplayFile(path string) ([]Record, ReplayStats, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, ReplayStats{}, nil
+	}
+	if err != nil {
+		return nil, ReplayStats{}, fmt.Errorf("journal: open: %w", err)
+	}
+	defer f.Close()
+	return Replay(f)
+}
+
+// State is the daemon state reconstructed from a replayed journal — what
+// a restarted policy daemon needs to resume where it crashed instead of
+// re-calibrating.
+type State struct {
+	// Epoch is the next epoch index (one past the last journaled
+	// decision).
+	Epoch int
+	// At is the virtual time of the last record.
+	At time.Duration
+
+	// Last actuated decision.
+	BudgetW float64
+	Knob    int
+	Setting float64
+	Mode    int
+
+	// Model fit (Fitted reports whether a fit was journaled).
+	Fitted   bool
+	Beta     float64
+	BaseRate float64
+	BasePowW float64
+
+	// Backoff is the degraded-signal backoff the daemon had accrued.
+	Backoff int
+
+	// Decisions and Transitions count the journaled records by kind.
+	Decisions   int
+	Transitions int
+}
+
+// Recover folds a replayed record sequence into the resumable state.
+// Recovery is idempotent in the face of a duplicated final record — a
+// daemon that crashed between actuating and acknowledging re-appends the
+// same decision on restart, so an exact consecutive duplicate is folded
+// once.
+func Recover(recs []Record) State {
+	var s State
+	for i, r := range recs {
+		if i > 0 && r == recs[i-1] {
+			continue
+		}
+		if r.At > s.At {
+			s.At = r.At
+		}
+		switch r.Kind {
+		case KindCapDecision:
+			s.BudgetW = r.BudgetW
+			s.Knob = r.Knob
+			s.Setting = r.Setting
+			s.Mode = r.Mode
+			s.Decisions++
+			if r.Epoch+1 > s.Epoch {
+				s.Epoch = r.Epoch + 1
+			}
+		case KindModelFit:
+			s.Fitted = true
+			s.Beta = r.Beta
+			s.BaseRate = r.BaseRate
+			s.BasePowW = r.BasePowW
+		case KindTrustTransition:
+			s.Mode = r.To
+			s.Backoff = r.Backoff
+			s.Transitions++
+		}
+	}
+	return s
+}

@@ -1,0 +1,245 @@
+package journal
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindCapDecision, Epoch: 0, At: 1 * time.Second, BudgetW: 0, Knob: 0},
+		{Kind: KindCapDecision, Epoch: 1, At: 2 * time.Second, BudgetW: 0, Knob: 0},
+		{Kind: KindModelFit, Epoch: 3, At: 3 * time.Second, Beta: 0.92, BaseRate: 5400, BasePowW: 151},
+		{Kind: KindCapDecision, Epoch: 3, At: 3 * time.Second, BudgetW: 120, Knob: 1, Setting: 120},
+		{Kind: KindTrustTransition, Epoch: 5, At: 5 * time.Second, From: 0, To: 1, Backoff: 2, Reason: "silent"},
+		{Kind: KindCapDecision, Epoch: 5, At: 5 * time.Second, BudgetW: 120, Knob: 1, Setting: 96, Mode: 1},
+	}
+}
+
+func journalImage(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	got, st, err := ReplayBytes(journalImage(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DamagedTail {
+		t.Fatalf("clean journal reported damaged: %s", st.TailError)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecoveryDamage is the table-driven recovery matrix the crash-safety
+// contract hangs on: a damaged tail is detected, dropped, and never
+// mis-replayed, while the intact prefix always survives.
+func TestRecoveryDamage(t *testing.T) {
+	recs := sampleRecords()
+	clean := journalImage(t, recs)
+	// Byte offset where the final record's frame begins.
+	lastStart := len(journalImage(t, recs[:len(recs)-1]))
+
+	cases := []struct {
+		name        string
+		mutate      func([]byte) []byte
+		wantRecords int
+		wantDamage  bool
+	}{
+		{"empty file", func(b []byte) []byte { return nil }, 0, false},
+		{"clean", func(b []byte) []byte { return b }, len(recs), false},
+		{"truncated mid-payload", func(b []byte) []byte { return b[:len(b)-3] }, len(recs) - 1, true},
+		{"truncated mid-header", func(b []byte) []byte { return b[:lastStart+4] }, len(recs) - 1, true},
+		{"flipped CRC byte", func(b []byte) []byte {
+			b[lastStart+5] ^= 0xFF
+			return b
+		}, len(recs) - 1, true},
+		{"flipped payload byte", func(b []byte) []byte {
+			b[lastStart+headerSize+1] ^= 0x10
+			return b
+		}, len(recs) - 1, true},
+		{"bad magic", func(b []byte) []byte {
+			b[lastStart] = 0x00
+			return b
+		}, len(recs) - 1, true},
+		{"garbage appended", func(b []byte) []byte {
+			return append(b, 0xDE, 0xAD, 0xBE, 0xEF)
+		}, len(recs), true},
+		{"implausible length", func(b []byte) []byte {
+			b[lastStart+1], b[lastStart+2], b[lastStart+3] = 0xFF, 0xFF, 0xFF
+			return b
+		}, len(recs) - 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := tc.mutate(append([]byte(nil), clean...))
+			got, st, err := ReplayBytes(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tc.wantRecords {
+				t.Fatalf("replayed %d records, want %d (tail: %s)", len(got), tc.wantRecords, st.TailError)
+			}
+			if st.DamagedTail != tc.wantDamage {
+				t.Fatalf("DamagedTail=%v, want %v (tail: %s)", st.DamagedTail, tc.wantDamage, st.TailError)
+			}
+			// Whatever survived must be an exact prefix — a corrupt tail
+			// must never replay a record that was not written.
+			for i := range got {
+				if got[i] != recs[i] {
+					t.Fatalf("record %d mutated by damage: %+v", i, got[i])
+				}
+			}
+			// The critical safety property: the recovered cap is one that
+			// was actually journaled, never a corrupted value.
+			s := Recover(got)
+			if s.Decisions > 0 && s.Setting != 0 && s.Setting != 120 && s.Setting != 96 {
+				t.Fatalf("recovered cap %v was never journaled", s.Setting)
+			}
+		})
+	}
+}
+
+func TestRecoverState(t *testing.T) {
+	s := Recover(sampleRecords())
+	if s.Epoch != 6 {
+		t.Fatalf("Epoch = %d, want 6", s.Epoch)
+	}
+	if !s.Fitted || s.Beta != 0.92 || s.BaseRate != 5400 || s.BasePowW != 151 {
+		t.Fatalf("fit not recovered: %+v", s)
+	}
+	if s.BudgetW != 120 || s.Setting != 96 || s.Knob != 1 {
+		t.Fatalf("last decision not recovered: %+v", s)
+	}
+	if s.Mode != 1 || s.Backoff != 2 {
+		t.Fatalf("trust state not recovered: %+v", s)
+	}
+	if s.Decisions != 4 || s.Transitions != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+}
+
+// TestRecoverDuplicateFinalRecord: a daemon that crashed between writing
+// the journal entry and acknowledging it re-appends the same record on
+// restart. Folding the duplicate must land on the identical state.
+func TestRecoverDuplicateFinalRecord(t *testing.T) {
+	recs := sampleRecords()
+	dup := append(append([]Record(nil), recs...), recs[len(recs)-1])
+	if Recover(dup) != Recover(recs) {
+		t.Fatalf("duplicate final record changed recovery:\n%+v\nvs\n%+v", Recover(dup), Recover(recs))
+	}
+}
+
+// TestFuzzSeededRecovery hammers replay with random mutations of a valid
+// journal: arbitrary single-byte flips and truncations anywhere in the
+// image. Replay must never panic, never return an error, and every
+// surviving record must be an exact prefix match of what was written.
+func TestFuzzSeededRecovery(t *testing.T) {
+	recs := sampleRecords()
+	clean := journalImage(t, recs)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		img := append([]byte(nil), clean...)
+		// Truncate to a random length, then flip up to 3 random bytes.
+		img = img[:rng.Intn(len(img)+1)]
+		for f := rng.Intn(4); f > 0 && len(img) > 0; f-- {
+			img[rng.Intn(len(img))] ^= byte(1 << rng.Intn(8))
+		}
+		got, _, err := ReplayBytes(img)
+		if err != nil {
+			t.Fatalf("trial %d: replay errored: %v", trial, err)
+		}
+		if len(got) > len(recs) {
+			t.Fatalf("trial %d: %d records from a %d-record journal", trial, len(got), len(recs))
+		}
+		for i := range got {
+			// A flipped byte that keeps the CRC valid is ~2^-32; treat any
+			// non-prefix record as a hard failure.
+			if got[i] != recs[i] {
+				t.Fatalf("trial %d: record %d corrupted silently: %+v", trial, i, got[i])
+			}
+		}
+		Recover(got) // must not panic on any surviving prefix
+	}
+}
+
+func TestFileRoundTripAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nrm.journal")
+
+	// Missing file = empty journal.
+	recs, st, err := ReplayFile(path)
+	if err != nil || len(recs) != 0 || st.DamagedTail {
+		t.Fatalf("missing file: recs=%v st=%+v err=%v", recs, st, err)
+	}
+
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Appends() != len(sampleRecords()) {
+		t.Fatalf("Appends() = %d", w.Appends())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindCapDecision}); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	recs, st, err = ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sampleRecords()) || st.DamagedTail {
+		t.Fatalf("file replay: %d records, st=%+v", len(recs), st)
+	}
+
+	// Simulate a torn final write by chopping two bytes off the file.
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, img[:len(img)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err = ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sampleRecords())-1 || !st.DamagedTail {
+		t.Fatalf("torn file replay: %d records, st=%+v", len(recs), st)
+	}
+}
+
+func TestAppendRejectsKindlessRecord(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Append(Record{}); err == nil {
+		t.Fatal("kindless record accepted")
+	}
+}

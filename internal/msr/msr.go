@@ -97,6 +97,11 @@ type Device struct {
 	writeMask map[uint32]uint64
 	writes    uint64
 	reads     uint64
+	// writeSeq counts successful whitelisted writes per register — the
+	// freshness signal the RAPL deadman watches to tell a live policy
+	// daemon (which re-arms its cap) from a dead one (whose stale cap
+	// must expire). Pokes are hardware-side and do not advance it.
+	writeSeq map[uint32]uint64
 
 	faultHook FaultHook
 	// stale holds, per register scope, the value returned by the previous
@@ -133,6 +138,7 @@ func NewDevice(cores int, whitelist map[uint32]uint64) *Device {
 		pkg:       make(map[uint32]uint64),
 		core:      make([]map[uint32]uint64, cores),
 		writeMask: whitelist,
+		writeSeq:  make(map[uint32]uint64),
 		stalePkg:  make(map[uint32]uint64),
 		staleCore: make([]map[uint32]uint64, cores),
 	}
@@ -230,8 +236,19 @@ func (d *Device) WriteCore(cpu int, addr uint32, v uint64) error {
 		return &ErrNotWhitelisted{Addr: addr, Bits: changed}
 	}
 	d.writes++
+	d.writeSeq[addr]++
 	m[addr] = v
 	return nil
+}
+
+// WriteSeq returns how many successful whitelisted writes the register
+// has received. Failed writes (EIO, whitelist violations) and hardware
+// Pokes do not count, so a consumer watching the sequence sees exactly
+// the policy side's live re-arms.
+func (d *Device) WriteSeq(addr uint32) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeSeq[addr]
 }
 
 // Poke bypasses the whitelist; it is how the hardware side of the

@@ -265,3 +265,44 @@ func TestClockModRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteSeqTracksOnlySuccessfulPolicyWrites: the deadman's freshness
+// signal must advance on whitelisted writes only — not on hardware
+// Pokes, not on EIO-failed writes, not on whitelist violations.
+func TestWriteSeqTracksOnlySuccessfulPolicyWrites(t *testing.T) {
+	d := NewDevice(2, nil)
+	if d.WriteSeq(PkgPowerLimit) != 0 {
+		t.Fatal("fresh device has nonzero write seq")
+	}
+	if err := d.Write(PkgPowerLimit, 0x8078); err != nil {
+		t.Fatal(err)
+	}
+	if d.WriteSeq(PkgPowerLimit) != 1 {
+		t.Fatalf("seq = %d after one write", d.WriteSeq(PkgPowerLimit))
+	}
+	// Hardware-side Poke must not advance the sequence.
+	d.Poke(PkgPowerLimit, 0x1234)
+	if d.WriteSeq(PkgPowerLimit) != 1 {
+		t.Fatal("Poke advanced the write sequence")
+	}
+	// A non-whitelisted write must not advance it.
+	if err := d.Write(PkgEnergyStatus, 1); err == nil {
+		t.Fatal("energy status write allowed")
+	}
+	if d.WriteSeq(PkgEnergyStatus) != 0 {
+		t.Fatal("rejected write advanced the sequence")
+	}
+	// An EIO-failed write must not advance it.
+	d.SetFaultHook(func(op FaultOp, addr uint32) FaultClass {
+		if op == OpWrite {
+			return FaultEIO
+		}
+		return FaultNone
+	})
+	if err := d.Write(PkgPowerLimit, 0x8078); err != ErrIO {
+		t.Fatalf("expected EIO, got %v", err)
+	}
+	if d.WriteSeq(PkgPowerLimit) != 1 {
+		t.Fatal("failed write advanced the sequence")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"progresscap/internal/engine"
+	"progresscap/internal/journal"
 	"progresscap/internal/model"
 	"progresscap/internal/progress"
 	"progresscap/internal/rapl"
@@ -110,6 +111,10 @@ type Decision struct {
 	PredictedRate float64
 	// Mode is the trust state the decision was made in.
 	Mode Mode
+	// Counters is the NRM's retry/restart counter snapshot after the
+	// decision was actuated, so the decision log doubles as the
+	// reliability telemetry stream.
+	Counters Counters
 }
 
 // Config tunes the NRM.
@@ -142,6 +147,12 @@ type Config struct {
 	// resumes (default 2). Each relapse during probation doubles the next
 	// probation, up to maxBackoffEpochs.
 	BackoffEpochs int
+
+	// Journal, when set, receives a write-ahead record of every cap
+	// decision, model fit, and trust transition *before* it takes
+	// effect, so a restarted daemon can Restore its pre-crash state
+	// instead of re-calibrating against a still-capped plant.
+	Journal *journal.Writer
 }
 
 // Degraded-mode tuning: backoff doubling is bounded, and a long healthy
@@ -206,6 +217,13 @@ type NRM struct {
 	cleanEpochs   int
 	transitions   []ModeTransition
 
+	// startAt is the engine clock when this NRM instance began; fit()
+	// measures calibration elapsed time from here so a Restored daemon
+	// does not divide post-restart energy by pre-restart wall time.
+	startAt  time.Duration
+	counters Counters
+	jErr     error // first journal-append failure, surfaced by Step
+
 	// Wrap-safe energy accounting (replaces cumulative-from-zero reads,
 	// which a seeded or wrapped RAPL counter silently corrupts).
 	energy  *rapl.EnergyReader
@@ -246,6 +264,7 @@ func New(cfg Config, eng *engine.Engine) (*NRM, error) {
 		backoff:   cfg.BackoffEpochs,
 		energy:    rapl.NewEnergyReader(eng.Device()),
 		rateTrace: trace.NewSeries("nrm.rate", ""),
+		startAt:   eng.Clock().Now(),
 	}, nil
 }
 
@@ -257,6 +276,20 @@ func (n *NRM) ModeTransitions() []ModeTransition { return n.transitions }
 
 func (n *NRM) transition(at time.Duration, to Mode, reason string) {
 	n.transitions = append(n.transitions, ModeTransition{At: at, From: n.mode, To: to, Reason: reason})
+	n.counters.TrustTransitions++
+	if n.cfg.Journal != nil {
+		if err := n.cfg.Journal.Append(journal.Record{
+			Kind:    journal.KindTrustTransition,
+			Epoch:   n.epoch,
+			At:      at,
+			From:    int(n.mode),
+			To:      int(to),
+			Backoff: n.backoff,
+			Reason:  reason,
+		}); err != nil && n.jErr == nil {
+			n.jErr = err
+		}
+	}
 	n.mode = to
 }
 
@@ -318,9 +351,6 @@ func (n *NRM) Step() (bool, error) {
 	case n.epoch < n.cfg.CalibrationEpochs:
 		// Calibration: uncapped, accumulate baseline.
 		dec.Knob = KnobNone
-		if err := n.actuate(dec); err != nil {
-			return false, err
-		}
 	default:
 		if !n.fitted {
 			if err := n.fit(); err != nil {
@@ -333,10 +363,17 @@ func (n *NRM) Step() (bool, error) {
 		} else {
 			dec = n.degradedDecision(now)
 		}
-		if err := n.actuate(dec); err != nil {
-			return false, err
-		}
 	}
+	// Write-ahead: the decision reaches the journal before it reaches
+	// hardware, so recovery can always restore the last actuated cap (or
+	// one the daemon was about to actuate — re-actuating it is safe).
+	if err := n.journalDecision(dec); err != nil {
+		return false, err
+	}
+	if err := n.actuate(dec); err != nil {
+		return false, err
+	}
+	dec.Counters = n.Counters()
 	n.decisions = append(n.decisions, dec)
 	n.epoch++
 
@@ -506,7 +543,7 @@ func (n *NRM) fit() error {
 	// calibration epochs. (A cumulative-since-zero register read would
 	// silently misreport on a node whose counter was seeded mid-count or
 	// wrapped during calibration.)
-	elapsed := n.eng.Clock().Now().Seconds()
+	elapsed := (n.eng.Clock().Now() - n.startAt).Seconds()
 	if elapsed <= 0 {
 		return fmt.Errorf("nrm: fit before any epoch ran")
 	}
@@ -526,6 +563,18 @@ func (n *NRM) fit() error {
 	}
 	n.params = p
 	n.fitted = true
+	if n.cfg.Journal != nil {
+		if err := n.cfg.Journal.Append(journal.Record{
+			Kind:     journal.KindModelFit,
+			Epoch:    n.epoch,
+			At:       n.eng.Clock().Now(),
+			Beta:     beta,
+			BaseRate: n.baseRate,
+			BasePowW: n.basePowW,
+		}); err != nil {
+			return fmt.Errorf("nrm: journaling fit: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -619,13 +668,18 @@ func (n *NRM) decide(now time.Duration) Decision {
 
 // actuate applies a decision through the node's control surfaces.
 func (n *NRM) actuate(dec Decision) error {
+	writeCap := func(watts float64) error {
+		retries, err := rapl.WriteLimitRetryN(n.eng.Device(), watts, 10*time.Millisecond)
+		n.counters.MSRRetries += retries
+		return err
+	}
 	switch dec.Knob {
 	case KnobNone:
 		n.eng.Controller().SetManual(false)
-		return rapl.WriteLimitRetry(n.eng.Device(), 0, 10*time.Millisecond)
+		return writeCap(0)
 	case KnobRAPL:
 		n.eng.Controller().SetManual(false)
-		return rapl.WriteLimitRetry(n.eng.Device(), dec.Setting, 10*time.Millisecond)
+		return writeCap(dec.Setting)
 	case KnobDVFS:
 		n.eng.SetManualDVFS(dec.Setting)
 		return nil

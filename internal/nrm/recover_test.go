@@ -1,0 +1,256 @@
+package nrm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"progresscap/internal/journal"
+	"progresscap/internal/msr"
+	"progresscap/internal/rapl"
+)
+
+// TestJournalRecordsDecisionsAndFit: a journaling NRM write-ahead-logs
+// calibration decisions, the model fit, and budget-enforcement
+// decisions, and Recover reconstructs the matching state.
+func TestJournalRecordsDecisionsAndFit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nrm.journal")
+	jw, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Beta: 1.0, Journal: jw}, newEngine(t, 10000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(110)
+	for i := 0; i < 8; i++ {
+		if _, err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rst, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.DamagedTail {
+		t.Fatalf("clean journal read as damaged: %+v", rst)
+	}
+	st := journal.Recover(recs)
+	if st.Epoch != 8 || st.Decisions != 8 {
+		t.Fatalf("recovered epoch=%d decisions=%d, want 8/8", st.Epoch, st.Decisions)
+	}
+	if !st.Fitted || st.Beta != 1.0 {
+		t.Fatalf("fit not recovered: %+v", st)
+	}
+	if st.Knob != int(KnobRAPL) || st.Setting != 110 || st.BudgetW != 110 {
+		t.Fatalf("last decision not recovered: knob=%d setting=%v budget=%v",
+			st.Knob, st.Setting, st.BudgetW)
+	}
+	if st.BaseRate != n.BaselineRate() {
+		t.Fatalf("baseline rate %v != %v", st.BaseRate, n.BaselineRate())
+	}
+}
+
+// TestRestoreResumesPreCrashCap is the package-level acceptance check
+// for recovery: kill the daemon after it settled on a cap, replay its
+// journal into a fresh NRM on the same engine, and the restored daemon
+// must (a) re-arm the pre-crash cap immediately, (b) skip
+// re-calibration, and (c) keep enforcing the budget.
+func TestRestoreResumesPreCrashCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nrm.journal")
+	jw, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(t, 20000, 1)
+	n1, err := New(Config{Beta: 1.0, Journal: jw}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.SetBudget(110)
+	for i := 0; i < 8; i++ {
+		if _, err := n1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": drop n1 without ceremony. Simulate the latched-cap hazard
+	// by scribbling a different cap before restore (a deadman revert, or
+	// another agent, may have moved the register while the daemon was
+	// down).
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rapl.WriteLimit(eng.Device(), 165, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, _, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := journal.Recover(recs)
+	jw2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw2.Close()
+	n2, err := Restore(Config{Beta: 1.0, Journal: jw2}, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) The pre-crash cap is back in the register before any epoch ran.
+	raw, err := eng.Device().Read(msr.PkgPowerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitRaw, err := eng.Device().Read(msr.RaplPowerUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl1, _ := msr.DecodePowerLimits(raw, msr.DecodeUnits(unitRaw))
+	if !pl1.Enabled || pl1.Watts != 110 {
+		t.Fatalf("restored cap = %+v, want enabled 110 W", pl1)
+	}
+
+	// (b) No re-calibration: the model is fitted and the epoch resumed.
+	if _, ok := n2.Model(); !ok {
+		t.Fatal("restored NRM lost its fit")
+	}
+	if n2.Counters().Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", n2.Counters().Recoveries)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := n2.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range n2.Decisions() {
+		if d.Knob == KnobNone {
+			t.Fatalf("restored decision %d re-calibrated (knob none)", i)
+		}
+		if d.Counters.Recoveries != 1 {
+			t.Fatalf("decision %d counters missing recovery: %+v", i, d.Counters)
+		}
+	}
+
+	// (c) The continued journal recovers the full history on a second
+	// replay: old records plus the restored daemon's new decisions.
+	if err := jw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs2, rst2, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst2.DamagedTail {
+		t.Fatalf("continued journal damaged: %+v", rst2)
+	}
+	st2 := journal.Recover(recs2)
+	if st2.Decisions != st.Decisions+4 {
+		t.Fatalf("continued journal has %d decisions, want %d", st2.Decisions, st.Decisions+4)
+	}
+	if st2.Epoch != st.Epoch+4 {
+		t.Fatalf("continued epoch = %d, want %d", st2.Epoch, st.Epoch+4)
+	}
+}
+
+// TestRestoreUnfittedRecalibrates: a crash before any journaled fit must
+// restart calibration rather than crash-looping inside fit().
+func TestRestoreUnfittedRecalibrates(t *testing.T) {
+	eng := newEngine(t, 10000, 1)
+	st := journal.State{Epoch: 3, Decisions: 3, Knob: int(KnobNone)}
+	n, err := Restore(Config{Beta: 1.0}, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := n.Model(); !ok {
+		t.Fatal("re-calibration never fitted")
+	}
+	if n.BaselineRate() <= 0 {
+		t.Fatal("no baseline after re-calibration")
+	}
+}
+
+// TestRestoreDegradedMapsProbationConservatively: a daemon that crashed
+// mid-probation resumes as Degraded with the journaled backoff.
+func TestRestoreDegradedMapsProbationConservatively(t *testing.T) {
+	eng := newEngine(t, 10000, 1)
+	st := journal.State{
+		Epoch: 6, Decisions: 6, Fitted: true,
+		Beta: 0.9, BaseRate: 800000, BasePowW: 180,
+		Mode: int(ModeProbation), Backoff: 8,
+		Knob: int(KnobRAPL), Setting: 144, BudgetW: 0,
+	}
+	n, err := Restore(Config{Beta: 0.9}, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Mode() != ModeDegraded {
+		t.Fatalf("restored mode = %v, want degraded", n.Mode())
+	}
+	if n.backoff != 8 {
+		t.Fatalf("restored backoff = %d, want 8", n.backoff)
+	}
+}
+
+// TestJournalOpenTruncatesDamagedTail: appending through Open after a
+// torn final write must land new frames on a clean boundary so the next
+// replay sees old records AND new ones.
+func TestJournalOpenTruncatesDamagedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nrm.journal")
+	jw, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		if err := jw.Append(journal.Record{Kind: journal.KindCapDecision, Epoch: e, Setting: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final write: append half a frame header.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xA5, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jw2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw2.Append(journal.Record{Kind: journal.KindCapDecision, Epoch: 3, Setting: 90}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, rst, err := journal.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.DamagedTail {
+		t.Fatalf("tail still damaged after Open: %+v", rst)
+	}
+	if len(recs) != 4 || recs[3].Setting != 90 {
+		t.Fatalf("replay = %d records (last %+v), want 4 ending at 90 W", len(recs), recs[len(recs)-1])
+	}
+}

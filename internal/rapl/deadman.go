@@ -1,0 +1,103 @@
+// RAPL deadman: the hardware-side guarantee that a dead policy daemon
+// can never strand the package at a stale cap.
+//
+// Real RAPL limits carry a time window and the firmware restores its
+// default limit when the OS-programmed one is no longer maintained
+// (e.g. across a watchdog reset). The emulation mirrors that contract
+// explicitly: the controller tracks the PKG_POWER_LIMIT write sequence,
+// and when no re-arm arrives within the TTL it reverts the register to
+// the firmware-default cap. A live daemon that re-writes its cap every
+// epoch never notices the deadman; a crashed one loses its aggressive
+// cap after TTL rather than throttling (or over-budgeting) the node
+// until someone reboots it.
+
+package rapl
+
+import (
+	"fmt"
+	"time"
+
+	"progresscap/internal/msr"
+)
+
+// FirmwareDefaultCapW is the package cap the firmware programs at reset:
+// the part's TDP, enabled and clamped. It is what the deadman reverts to
+// on expiry — a safe sustained operating point, neither the dead
+// daemon's aggressive cap nor an unlimited free-for-all.
+const FirmwareDefaultCapW = 165
+
+// FirmwareDefaultWindow is the averaging window of the firmware-default
+// limit.
+const FirmwareDefaultWindow = 10 * time.Millisecond
+
+// Deadman configures the cap TTL.
+type Deadman struct {
+	// TTL is how long a programmed cap stays valid without a re-arm
+	// (a fresh whitelisted write of PKG_POWER_LIMIT).
+	TTL time.Duration
+	// DefaultCapW is the cap restored on expiry; 0 uses
+	// FirmwareDefaultCapW.
+	DefaultCapW float64
+}
+
+// SetDeadman arms (or, with a zero TTL, disarms) the controller's cap
+// deadman. Call before the run starts; the TTL clock is driven by the
+// controller's Observe ticks, i.e. by virtual time.
+func (c *Controller) SetDeadman(dm Deadman) error {
+	if dm.TTL < 0 {
+		return fmt.Errorf("rapl: negative deadman TTL %v", dm.TTL)
+	}
+	if dm.TTL == 0 {
+		c.deadman = nil
+		return nil
+	}
+	if dm.DefaultCapW == 0 {
+		dm.DefaultCapW = FirmwareDefaultCapW
+	}
+	if dm.DefaultCapW < 0 {
+		return fmt.Errorf("rapl: negative deadman default cap %v", dm.DefaultCapW)
+	}
+	c.deadman = &dm
+	c.armSeq = c.dev.WriteSeq(msr.PkgPowerLimit)
+	c.armAge = 0
+	c.tripped = false
+	return nil
+}
+
+// DeadmanTrips returns how many times the deadman has expired and
+// reverted the cap.
+func (c *Controller) DeadmanTrips() uint64 { return c.deadmanTrips }
+
+// DeadmanExpired reports whether the deadman is currently tripped (no
+// re-arm since the last revert).
+func (c *Controller) DeadmanExpired() bool { return c.tripped }
+
+// tickDeadman advances the TTL clock by dt; Observe calls it every
+// simulation tick. A fresh write of PKG_POWER_LIMIT re-arms (and clears
+// a trip); TTL expiry reverts the register to the firmware-default cap
+// via the hardware-side Poke, which deliberately does not advance the
+// write sequence — the next policy write still reads as a re-arm.
+func (c *Controller) tickDeadman(dt time.Duration) {
+	if c.deadman == nil {
+		return
+	}
+	if seq := c.dev.WriteSeq(msr.PkgPowerLimit); seq != c.armSeq {
+		c.armSeq = seq
+		c.armAge = 0
+		c.tripped = false
+		return
+	}
+	c.armAge += dt
+	if c.tripped || c.armAge < c.deadman.TTL {
+		return
+	}
+	c.tripped = true
+	c.deadmanTrips++
+	def := msr.PowerLimit{
+		Watts:         c.deadman.DefaultCapW,
+		Enabled:       true,
+		Clamp:         true,
+		WindowSeconds: FirmwareDefaultWindow.Seconds(),
+	}
+	c.dev.Poke(msr.PkgPowerLimit, msr.EncodePowerLimits(def, msr.PowerLimit{}, c.units))
+}

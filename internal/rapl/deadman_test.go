@@ -1,0 +1,175 @@
+package rapl
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/msr"
+)
+
+// TestDeadmanRevertsToFirmwareDefault is the acceptance test for the cap
+// deadman: a daemon programs an aggressive cap and dies; after TTL of
+// un-re-armed virtual time the package reverts to the firmware-default
+// cap, so the stale cap cannot strand the node.
+func TestDeadmanRevertsToFirmwareDefault(t *testing.T) {
+	r := newRig(t)
+	if err := r.ctl.SetDeadman(Deadman{TTL: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	const staleCapW = 60
+	if err := WriteLimit(r.dev, staleCapW, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// 40 ms of ticks: still within TTL, the cap must hold.
+	r.runSteady(40, 1, 0.05)
+	pl1, err := r.ctl.Limit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl1.Enabled || pl1.Watts != staleCapW {
+		t.Fatalf("cap before TTL: %+v, want enabled %v W", pl1, staleCapW)
+	}
+	if r.ctl.DeadmanExpired() || r.ctl.DeadmanTrips() != 0 {
+		t.Fatalf("deadman tripped early: expired=%v trips=%d",
+			r.ctl.DeadmanExpired(), r.ctl.DeadmanTrips())
+	}
+
+	// 20 more ms with no re-arm: the TTL expires, the register reverts.
+	r.runSteady(20, 1, 0.05)
+	pl1, err = r.ctl.Limit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl1.Enabled || pl1.Watts != FirmwareDefaultCapW {
+		t.Fatalf("cap after TTL: %+v, want firmware default %v W", pl1, FirmwareDefaultCapW)
+	}
+	if !r.ctl.DeadmanExpired() || r.ctl.DeadmanTrips() != 1 {
+		t.Fatalf("expired=%v trips=%d, want tripped once",
+			r.ctl.DeadmanExpired(), r.ctl.DeadmanTrips())
+	}
+	// The trip must not repeat while still un-armed.
+	r.runSteady(100, 1, 0.05)
+	if r.ctl.DeadmanTrips() != 1 {
+		t.Fatalf("deadman re-tripped: %d", r.ctl.DeadmanTrips())
+	}
+}
+
+// TestDeadmanReArmedByLiveDaemon: a daemon writing its cap within the
+// TTL never trips the deadman, no matter how long the run.
+func TestDeadmanReArmedByLiveDaemon(t *testing.T) {
+	r := newRig(t)
+	if err := r.ctl.SetDeadman(Deadman{TTL: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	const capW = 90
+	for epoch := 0; epoch < 10; epoch++ {
+		if err := WriteLimit(r.dev, capW, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		r.runSteady(30, 1, 0.05) // 30 ms per epoch < 50 ms TTL
+	}
+	if r.ctl.DeadmanTrips() != 0 {
+		t.Fatalf("live daemon tripped deadman %d times", r.ctl.DeadmanTrips())
+	}
+	pl1, err := r.ctl.Limit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1.Watts != capW {
+		t.Fatalf("cap = %v, want %v", pl1.Watts, capW)
+	}
+}
+
+// TestDeadmanRecoveryAfterTrip: the daemon restarts after the trip and
+// re-writes its cap; the write re-arms the deadman and the new cap
+// sticks.
+func TestDeadmanRecoveryAfterTrip(t *testing.T) {
+	r := newRig(t)
+	if err := r.ctl.SetDeadman(Deadman{TTL: 20 * time.Millisecond, DefaultCapW: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLimit(r.dev, 70, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r.runSteady(40, 1, 0.05) // expire
+	if !r.ctl.DeadmanExpired() {
+		t.Fatal("deadman did not trip")
+	}
+	pl1, _ := r.ctl.Limit()
+	if pl1.Watts != 150 {
+		t.Fatalf("custom default cap: got %v, want 150", pl1.Watts)
+	}
+	// Restarted daemon re-arms.
+	if err := WriteLimit(r.dev, 110, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r.runSteady(10, 1, 0.05)
+	if r.ctl.DeadmanExpired() {
+		t.Fatal("re-arm did not clear the trip")
+	}
+	pl1, _ = r.ctl.Limit()
+	if pl1.Watts != 110 {
+		t.Fatalf("recovered cap: got %v, want 110", pl1.Watts)
+	}
+	// And dying again trips again.
+	r.runSteady(40, 1, 0.05)
+	if r.ctl.DeadmanTrips() != 2 {
+		t.Fatalf("trips = %d, want 2", r.ctl.DeadmanTrips())
+	}
+}
+
+// TestDeadmanFailedWriteDoesNotReArm: an EIO-failed cap write must not
+// count as a re-arm — only a successful write pets the deadman.
+func TestDeadmanFailedWriteDoesNotReArm(t *testing.T) {
+	r := newRig(t)
+	if err := r.ctl.SetDeadman(Deadman{TTL: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLimit(r.dev, 70, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r.runSteady(15, 1, 0.05)
+	// All further writes fail with EIO.
+	r.dev.SetFaultHook(func(op msr.FaultOp, addr uint32) msr.FaultClass {
+		if op == msr.OpWrite {
+			return msr.FaultEIO
+		}
+		return msr.FaultNone
+	})
+	if err := WriteLimit(r.dev, 70, 10*time.Millisecond); err != msr.ErrIO {
+		t.Fatalf("expected EIO, got %v", err)
+	}
+	r.runSteady(10, 1, 0.05)
+	if !r.ctl.DeadmanExpired() {
+		t.Fatal("failed write re-armed the deadman")
+	}
+}
+
+func TestDeadmanValidation(t *testing.T) {
+	r := newRig(t)
+	if err := r.ctl.SetDeadman(Deadman{TTL: -time.Second}); err == nil {
+		t.Fatal("negative TTL accepted")
+	}
+	if err := r.ctl.SetDeadman(Deadman{TTL: time.Second, DefaultCapW: -5}); err == nil {
+		t.Fatal("negative default cap accepted")
+	}
+	// Zero TTL disarms.
+	if err := r.ctl.SetDeadman(Deadman{TTL: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctl.SetDeadman(Deadman{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLimit(r.dev, 60, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r.runSteady(2000, 1, 0.05)
+	if r.ctl.DeadmanTrips() != 0 {
+		t.Fatal("disarmed deadman tripped")
+	}
+	pl1, _ := r.ctl.Limit()
+	if pl1.Watts != 60 {
+		t.Fatalf("cap = %v, want 60 (no deadman)", pl1.Watts)
+	}
+}

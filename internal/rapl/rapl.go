@@ -89,6 +89,13 @@ type Controller struct {
 
 	trimW  float64
 	manual bool
+
+	// Deadman state (nil = disarmed): see deadman.go.
+	deadman      *Deadman
+	armSeq       uint64
+	armAge       time.Duration
+	tripped      bool
+	deadmanTrips uint64
 }
 
 // fastTau is the time constant of the PL2 burst average (real PL2
@@ -146,6 +153,7 @@ func (c *Controller) SetManual(m bool) { c.manual = m }
 // the RAPL energy counter, and updates the demand EWMAs the next Control
 // call budgets from.
 func (c *Controller) Observe(s power.NodeState, dt time.Duration) power.Breakdown {
+	c.tickDeadman(dt)
 	b := c.meter.Observe(s, dt.Seconds())
 	c.energy.AddJoules(b.PkgW() * dt.Seconds())
 	c.dev.Poke(msr.PkgEnergyStatus, c.energy.Raw())
@@ -380,11 +388,20 @@ func WriteLimits(dev *msr.Device, pl1W float64, pl1Window time.Duration, pl2W fl
 // ErrIO is retried once before being reported. Persistent failures still
 // surface so the policy layer can enter its degraded path.
 func WriteLimitRetry(dev *msr.Device, watts float64, window time.Duration) error {
-	err := WriteLimit(dev, watts, window)
+	_, err := WriteLimitRetryN(dev, watts, window)
+	return err
+}
+
+// WriteLimitRetryN is WriteLimitRetry reporting how many retries the
+// write needed (0 or 1), so policy layers can expose an EIO-retry
+// counter instead of burying transient faults in logs.
+func WriteLimitRetryN(dev *msr.Device, watts float64, window time.Duration) (retries int, err error) {
+	err = WriteLimit(dev, watts, window)
 	if err == msr.ErrIO {
+		retries = 1
 		err = WriteLimit(dev, watts, window)
 	}
-	return err
+	return retries, err
 }
 
 // EnergyReader accumulates package energy from the wrapping

@@ -1,0 +1,219 @@
+// Package supervise runs the control-plane components — policy daemon,
+// monitors, cluster manager — as restartable units with crash-only
+// semantics.
+//
+// The paper's setup assumes its NRM-style daemon never dies; this
+// package assumes the opposite. A unit is a function that runs until it
+// finishes, errors, or panics. The supervisor captures panics, restarts
+// the unit with exponential backoff, and — when restarts keep failing —
+// opens a circuit breaker and invokes a degrade hook so the node falls
+// back to a static safe power cap rather than flapping forever. Paired
+// with internal/journal (state recovery across restarts) and the RAPL
+// deadman (hardware-side cap TTL), it gives the control plane explicit
+// safety guarantees independent of the plant.
+//
+// The supervisor state machine per unit:
+//
+//	        run ok
+//	Running ───────▶ Stopped
+//	   │ error/panic
+//	   ▼
+//	Backoff ── sleep(b), b *= factor ──▶ Running   (restart)
+//	   │ restarts > MaxRestarts
+//	   ▼
+//	Broken ── OnBreak() ──▶ degraded static safe cap
+//
+// Sleeping is injectable so a simulation can advance *virtual* time
+// while the daemon is down — exactly how the chaos harness models a
+// plant that keeps running under a latched cap while its controller is
+// being restarted.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// PanicError wraps a recovered panic so callers can distinguish a crash
+// from an ordinary error return.
+type PanicError struct {
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("unit panicked: %v", e.Value)
+}
+
+// ErrCircuitOpen is wrapped by Supervise's return when the restart
+// budget is exhausted and the unit has been abandoned to the degrade
+// hook.
+var ErrCircuitOpen = errors.New("supervise: circuit breaker open")
+
+// Unit is one restartable component. Start is called for every
+// incarnation and must return a fresh run function — this is where a
+// daemon replays its journal and re-arms its cap. Returning an error
+// from Start counts as a failed incarnation (it can be retried); a nil
+// run function with a nil error is invalid.
+type Unit struct {
+	Name  string
+	Start func(attempt int) (func() error, error)
+}
+
+// Options tunes the supervisor.
+type Options struct {
+	// MaxRestarts is how many restarts are attempted before the circuit
+	// breaker opens (default 5). The first run is not a restart.
+	MaxRestarts int
+	// Backoff is the delay before the first restart (default 100 ms);
+	// each subsequent restart multiplies it by BackoffFactor (default 2)
+	// up to MaxBackoff (default 30 s). A clean stretch does not reset the
+	// backoff within one Supervise call — a unit that needed five
+	// restarts is not trusted faster because the fifth held briefly.
+	Backoff       time.Duration
+	BackoffFactor float64
+	MaxBackoff    time.Duration
+	// Sleep waits out a backoff. The default is time.Sleep; simulations
+	// inject the virtual clock here so the plant keeps running while the
+	// daemon is down.
+	Sleep func(time.Duration)
+	// OnRestart is invoked before each restart attempt with the failure
+	// that caused it and the backoff about to be served.
+	OnRestart func(unit string, attempt int, cause error, backoff time.Duration)
+	// OnBreak is invoked exactly once when the circuit opens — the hook
+	// that degrades the node to its static safe cap.
+	OnBreak func(unit string, cause error)
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxRestarts == 0 {
+		o.MaxRestarts = 5
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.BackoffFactor < 1 {
+		o.BackoffFactor = 2
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 30 * time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+}
+
+// Supervisor supervises units. Counters are cumulative across all units
+// and incarnations it has run.
+type Supervisor struct {
+	opts Options
+
+	mu       sync.Mutex
+	restarts int
+	panics   int
+	broken   bool
+	last     error
+}
+
+// New returns a supervisor with the given options.
+func New(opts Options) *Supervisor {
+	opts.fillDefaults()
+	return &Supervisor{opts: opts}
+}
+
+// Restarts returns how many restarts the supervisor has performed.
+func (s *Supervisor) Restarts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
+// Panics returns how many incarnations died by panic (vs error return).
+func (s *Supervisor) Panics() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.panics
+}
+
+// Broken reports whether a supervised unit has opened the circuit
+// breaker.
+func (s *Supervisor) Broken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// LastFailure returns the most recent failure a unit exhibited (nil when
+// every incarnation so far exited cleanly).
+func (s *Supervisor) LastFailure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Supervise runs the unit until it exits cleanly (nil return) or the
+// restart budget is exhausted. It blocks; run units in goroutines for
+// concurrent supervision. On circuit break it calls OnBreak and returns
+// an error wrapping ErrCircuitOpen and the final failure.
+func (s *Supervisor) Supervise(u Unit) error {
+	if u.Start == nil {
+		return fmt.Errorf("supervise: unit %q has no Start", u.Name)
+	}
+	backoff := s.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		err := s.runOnce(u, attempt)
+		if err == nil {
+			return nil
+		}
+		s.mu.Lock()
+		s.last = err
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			s.panics++
+		}
+		exhausted := attempt >= s.opts.MaxRestarts
+		if exhausted {
+			s.broken = true
+		} else {
+			s.restarts++
+		}
+		s.mu.Unlock()
+
+		if exhausted {
+			if s.opts.OnBreak != nil {
+				s.opts.OnBreak(u.Name, err)
+			}
+			return fmt.Errorf("supervise: %s: %w after %d restarts: %v",
+				u.Name, ErrCircuitOpen, attempt, err)
+		}
+		if s.opts.OnRestart != nil {
+			s.opts.OnRestart(u.Name, attempt+1, err, backoff)
+		}
+		s.opts.Sleep(backoff)
+		backoff = time.Duration(float64(backoff) * s.opts.BackoffFactor)
+		if backoff > s.opts.MaxBackoff {
+			backoff = s.opts.MaxBackoff
+		}
+	}
+}
+
+// runOnce starts and runs one incarnation, converting panics in either
+// the constructor or the run function into PanicErrors.
+func (s *Supervisor) runOnce(u Unit, attempt int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	run, err := u.Start(attempt)
+	if err != nil {
+		return fmt.Errorf("supervise: %s: start: %w", u.Name, err)
+	}
+	if run == nil {
+		return fmt.Errorf("supervise: %s: Start returned no run function", u.Name)
+	}
+	return run()
+}

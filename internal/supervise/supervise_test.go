@@ -1,0 +1,173 @@
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeSleep records backoffs instead of sleeping.
+type fakeSleep struct{ slept []time.Duration }
+
+func (f *fakeSleep) sleep(d time.Duration) { f.slept = append(f.slept, d) }
+
+func TestCleanExitNeedsNoRestart(t *testing.T) {
+	fs := &fakeSleep{}
+	s := New(Options{Sleep: fs.sleep})
+	err := s.Supervise(Unit{Name: "ok", Start: func(int) (func() error, error) {
+		return func() error { return nil }, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Restarts() != 0 || s.Panics() != 0 || s.Broken() || len(fs.slept) != 0 {
+		t.Fatalf("clean exit: restarts=%d panics=%d broken=%v slept=%v",
+			s.Restarts(), s.Panics(), s.Broken(), fs.slept)
+	}
+}
+
+// TestPanickingUnitRestartsWithBackoffThenRecovers is the core contract:
+// a daemon that panics is restarted with exponentially growing backoff,
+// and an incarnation that finally holds ends supervision cleanly.
+func TestPanickingUnitRestartsWithBackoffThenRecovers(t *testing.T) {
+	fs := &fakeSleep{}
+	s := New(Options{MaxRestarts: 8, Backoff: 100 * time.Millisecond, Sleep: fs.sleep})
+	incarnations := 0
+	err := s.Supervise(Unit{Name: "flaky", Start: func(attempt int) (func() error, error) {
+		incarnations++
+		return func() error {
+			if incarnations <= 3 {
+				panic(fmt.Sprintf("crash %d", incarnations))
+			}
+			return nil
+		}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incarnations != 4 || s.Restarts() != 3 || s.Panics() != 3 {
+		t.Fatalf("incarnations=%d restarts=%d panics=%d", incarnations, s.Restarts(), s.Panics())
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(fs.slept) != len(want) {
+		t.Fatalf("backoffs %v, want %v", fs.slept, want)
+	}
+	for i := range want {
+		if fs.slept[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v (exponential)", i, fs.slept[i], want[i])
+		}
+	}
+}
+
+// TestCircuitBreakerDegradesToSafeCap: a unit that never stops crashing
+// exhausts the restart budget, opens the breaker exactly once, and the
+// OnBreak hook applies the static safe cap.
+func TestCircuitBreakerDegradesToSafeCap(t *testing.T) {
+	fs := &fakeSleep{}
+	safeCapApplied := 0
+	var breakCause error
+	s := New(Options{
+		MaxRestarts: 3,
+		Backoff:     50 * time.Millisecond,
+		Sleep:       fs.sleep,
+		OnBreak: func(unit string, cause error) {
+			safeCapApplied++
+			breakCause = cause
+		},
+	})
+	err := s.Supervise(Unit{Name: "doomed", Start: func(int) (func() error, error) {
+		return func() error { panic("always") }, nil
+	}})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if !s.Broken() || s.Restarts() != 3 || s.Panics() != 4 {
+		t.Fatalf("broken=%v restarts=%d panics=%d", s.Broken(), s.Restarts(), s.Panics())
+	}
+	if safeCapApplied != 1 {
+		t.Fatalf("OnBreak called %d times, want exactly 1", safeCapApplied)
+	}
+	var pe *PanicError
+	if !errors.As(breakCause, &pe) || pe.Value != "always" {
+		t.Fatalf("break cause = %v, want the captured panic", breakCause)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+func TestErrorReturnAlsoRestarts(t *testing.T) {
+	fs := &fakeSleep{}
+	s := New(Options{MaxRestarts: 5, Sleep: fs.sleep})
+	runs := 0
+	err := s.Supervise(Unit{Name: "errs", Start: func(int) (func() error, error) {
+		runs++
+		return func() error {
+			if runs < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		}, nil
+	}})
+	if err != nil || runs != 3 || s.Panics() != 0 || s.Restarts() != 2 {
+		t.Fatalf("err=%v runs=%d panics=%d restarts=%d", err, runs, s.Panics(), s.Restarts())
+	}
+}
+
+func TestStartFailureCountsAsIncarnation(t *testing.T) {
+	fs := &fakeSleep{}
+	s := New(Options{MaxRestarts: 4, Sleep: fs.sleep})
+	starts := 0
+	err := s.Supervise(Unit{Name: "recovering", Start: func(attempt int) (func() error, error) {
+		starts++
+		if starts < 2 {
+			return nil, errors.New("journal locked")
+		}
+		if attempt != starts-1 {
+			t.Fatalf("attempt %d on start %d", attempt, starts)
+		}
+		return func() error { return nil }, nil
+	}})
+	if err != nil || starts != 2 {
+		t.Fatalf("err=%v starts=%d", err, starts)
+	}
+}
+
+func TestPanicInStartIsCaptured(t *testing.T) {
+	fs := &fakeSleep{}
+	s := New(Options{MaxRestarts: 1, Sleep: fs.sleep})
+	err := s.Supervise(Unit{Name: "ctor-panic", Start: func(int) (func() error, error) {
+		panic("corrupt journal struct")
+	}})
+	if !errors.Is(err, ErrCircuitOpen) || s.Panics() != 2 {
+		t.Fatalf("err=%v panics=%d", err, s.Panics())
+	}
+}
+
+func TestBackoffCapped(t *testing.T) {
+	fs := &fakeSleep{}
+	s := New(Options{
+		MaxRestarts: 6,
+		Backoff:     time.Second,
+		MaxBackoff:  3 * time.Second,
+		Sleep:       fs.sleep,
+	})
+	_ = s.Supervise(Unit{Name: "doomed", Start: func(int) (func() error, error) {
+		return func() error { return errors.New("down") }, nil
+	}})
+	for _, d := range fs.slept {
+		if d > 3*time.Second {
+			t.Fatalf("backoff %v exceeded MaxBackoff", d)
+		}
+	}
+	if fs.slept[len(fs.slept)-1] != 3*time.Second {
+		t.Fatalf("final backoff %v, want capped 3s", fs.slept[len(fs.slept)-1])
+	}
+}
+
+func TestNilStartRejected(t *testing.T) {
+	if err := New(Options{}).Supervise(Unit{Name: "nil"}); err == nil {
+		t.Fatal("nil Start accepted")
+	}
+}
