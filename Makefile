@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race soak bench experiments figures clean
+.PHONY: all build vet test test-race race soak bench bench-smoke experiments figures clean
 
-all: build vet test test-race soak
+all: build vet test test-race soak bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,8 +32,16 @@ soak:
 	SOAK_ITERS=$(SOAK_ITERS) $(GO) test -race -run TestChaosRestartSoak -v ./internal/experiments/
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
+# Results are parsed into the tracked baseline BENCH_<date>.json so the
+# perf trajectory is recorded PR-over-PR (see cmd/benchreport).
+BENCH_DATE := $(shell date +%F)
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchreport -echo -o BENCH_$(BENCH_DATE).json
+
+# One iteration of every benchmark through the benchreport parser — no
+# regression gate, just keeps the bench harness itself from rotting.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/benchreport -o /dev/null
 
 # Regenerate every table and figure as text.
 experiments:

@@ -21,8 +21,13 @@ import (
 	"progresscap/internal/workload"
 )
 
+// benchOpts is the harness scale for the artifact benchmarks — the same
+// DefaultOptions the tests use, so benchmarks and tests can't silently
+// diverge. Each call returns a fresh Options (fresh memoizing runner):
+// cross-iteration caching would make b.N iterations nearly free and
+// destroy the measurement.
 func benchOpts() experiments.Options {
-	return experiments.Options{RunSeconds: 12, Reps: 3, Seed: 1}
+	return experiments.DefaultOptions()
 }
 
 func BenchmarkTable1MIPSVsProgress(b *testing.B) {

@@ -1,0 +1,187 @@
+// Command benchreport converts `go test -bench` output into the
+// repository's tracked benchmark baseline format (BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchreport -o BENCH_$(date +%F).json
+//	benchreport -echo -before BENCH_old.json -o BENCH_new.json bench.out
+//
+// It parses standard testing.B result lines — including custom metrics
+// such as the engine's virtual-s/s — plus the trailing `ok <pkg> <secs>`
+// line, which it records as the suite wall time. With -before, a prior
+// report is embedded under "before" so a single file carries the
+// before/after pair for a PR. With -echo, input lines are copied to
+// stdout so the tool can sit at the end of a pipe without hiding the
+// benchmark output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed testing.B result line.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps a unit (ns/op, B/op, allocs/op, virtual-s/s, ...) to
+	// its measured value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the persisted baseline.
+type Report struct {
+	Schema       string      `json:"schema"`
+	Date         string      `json:"date"`
+	GoVersion    string      `json:"go_version"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+	SuiteSeconds float64     `json:"suite_seconds,omitempty"`
+	Benchmarks   []Benchmark `json:"benchmarks"`
+	// Notes carries free-form context (host caveats, what changed).
+	Notes []string `json:"notes,omitempty"`
+	// Before optionally embeds the previous baseline for PR-over-PR
+	// comparison.
+	Before *Report `json:"before,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+
+	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	before := flag.String("before", "", "embed this prior report under \"before\"")
+	echo := flag.Bool("echo", false, "copy input lines to stdout while parsing")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		log.Fatal("at most one input file")
+	}
+
+	rep := &Report{
+		Schema:     "progresscap-bench/v1",
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if *note != "" {
+		rep.Notes = append(rep.Notes, *note)
+	}
+	if *before != "" {
+		data, err := os.ReadFile(*before)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var prev Report
+		if err := json.Unmarshal(data, &prev); err != nil {
+			log.Fatalf("parsing %s: %v", *before, err)
+		}
+		prev.Before = nil // keep the chain one level deep
+		rep.Before = &prev
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if *echo {
+			fmt.Println(line)
+		}
+		if b, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+			continue
+		}
+		if secs, ok := parseOKLine(line); ok {
+			rep.SuiteSeconds = secs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if *echo {
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	}
+}
+
+// parseBenchLine parses one testing.B result line:
+//
+//	BenchmarkEngineTicks-8   20   56663043 ns/op   75338 B/op   292 allocs/op   88.34 virtual-s/s
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one value+unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix the harness appends.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = val
+	}
+	return b, true
+}
+
+// parseOKLine extracts the elapsed seconds from a `ok <pkg> <secs>s`
+// test-harness summary line.
+func parseOKLine(line string) (float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "ok" || !strings.HasSuffix(fields[2], "s") {
+		return 0, false
+	}
+	secs, err := strconv.ParseFloat(strings.TrimSuffix(fields[2], "s"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return secs, true
+}

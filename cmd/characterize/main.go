@@ -28,6 +28,7 @@ func main() {
 	app := flag.String("app", "", "application to characterize (required)")
 	seconds := flag.Float64("seconds", 15, "virtual seconds per measurement run")
 	seed := flag.Uint64("seed", 1, "RNG seed")
+	parallel := flag.Int("parallel", 2, "overlap the 3300/1600 MHz measurement runs when >1; results are identical at any setting")
 	jsonPath := flag.String("json", "", "write the characterization to this JSON file")
 	predict := flag.String("predict", "", "comma-separated package caps (W) to predict progress for")
 	flag.Parse()
@@ -36,7 +37,7 @@ func main() {
 		log.Fatal("-app is required; runnable applications: LAMMPS, AMG, QMCPACK, OpenMC, STREAM, CANDLE")
 	}
 
-	c, err := progresscap.Characterize(*app, *seconds, *seed)
+	c, err := progresscap.CharacterizeParallel(*app, *seconds, *seed, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-run table1,table6,fig4] [-seconds 12] [-reps 3] [-seed 1]
+//	experiments [-run table1,table6,fig4] [-seconds 12] [-reps 3] [-seed 1] [-parallel N]
 //
-// With no -run flag every artifact is produced in paper order.
+// With no -run flag every artifact is produced in paper order. All
+// artifacts share one memoizing scheduler, so baselines reused across
+// tables and figures simulate once; -parallel bounds how many
+// simulations run concurrently (default GOMAXPROCS). Output is
+// byte-identical at any -parallel setting. A scheduler summary line
+// (runs executed, cache hits, peak workers, wall time) goes to stderr.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"progresscap/internal/experiments"
 )
@@ -23,6 +29,7 @@ func main() {
 	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
 	reps := flag.Int("reps", 3, "repetitions per power cap (Figure 4)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS); results are identical at any setting")
 	invariants := flag.Bool("invariants", false, "arm the engine-level safety invariant checker on every run; violations fail the artifact")
 	csvDir := flag.String("csv", "", "also write each artifact's tables as CSV files into this directory")
 	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
@@ -37,7 +44,17 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{RunSeconds: *seconds, Reps: *reps, Seed: *seed, CheckInvariants: *invariants}
+	// One runner for the whole invocation: runs shared across artifacts
+	// (e.g. the Table 6 / Figure 4 characterizations) simulate once.
+	runner := experiments.NewRunner(*parallel)
+	opts := experiments.Options{
+		RunSeconds:      *seconds,
+		Reps:            *reps,
+		Seed:            *seed,
+		CheckInvariants: *invariants,
+		Parallel:        *parallel,
+	}.WithRunner(runner)
+	start := time.Now()
 
 	type gen struct {
 		id string
@@ -114,5 +131,8 @@ func main() {
 			}
 		}
 	}
+	st := runner.Stats()
+	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache, peak %d/%d workers, wall %s\n",
+		st.Executed, st.CacheHits, st.PeakWorkers, runner.Parallel(), time.Since(start).Round(time.Millisecond))
 	os.Exit(exit)
 }

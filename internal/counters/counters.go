@@ -7,7 +7,7 @@ package counters
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,11 +50,20 @@ type ReadHook func(core int, e Event, v uint64) uint64
 // Bank holds the counters for one node: numEvents counters per core.
 // The simulation engine increments them; readers snapshot them through
 // EventSets. Bank is safe for concurrent use.
+//
+// Counters live in a flat per-core/per-event array of atomics rather
+// than behind a mutex: Add sits on the engine's per-tick hot path (up to
+// one call per rank per event per tick) and a lock/unlock pair per
+// increment dominated the whole-engine profile. The trade is snapshot
+// consistency: Total and Snapshot read each cell atomically but do not
+// freeze the bank as a whole, so a reader racing a writer may observe a
+// sum that interleaves two in-flight ticks. Within the simulation the
+// engine is single-goroutine per bank, and cross-tick interleaving is
+// exactly what a real PAPI read of a running core observes anyway.
 type Bank struct {
-	mu       sync.Mutex
 	cores    int
-	vals     [][]uint64 // [core][event]
-	readHook ReadHook
+	vals     []atomic.Uint64 // flat [core*numEvents + event]
+	readHook atomic.Pointer[ReadHook]
 }
 
 // NewBank returns a zeroed counter bank for the given core count.
@@ -62,11 +71,7 @@ func NewBank(cores int) *Bank {
 	if cores <= 0 {
 		panic("counters: bank needs at least one core")
 	}
-	vals := make([][]uint64, cores)
-	for i := range vals {
-		vals[i] = make([]uint64, numEvents)
-	}
-	return &Bank{cores: cores, vals: vals}
+	return &Bank{cores: cores, vals: make([]atomic.Uint64, cores*int(numEvents))}
 }
 
 // Cores returns the number of cores the bank covers.
@@ -76,51 +81,59 @@ func (b *Bank) Cores() int { return b.cores }
 // Writers (Add) are never perturbed: the simulation's ground truth stays
 // intact; only observations degrade.
 func (b *Bank) SetReadHook(h ReadHook) {
-	b.mu.Lock()
-	b.readHook = h
-	b.mu.Unlock()
+	if h == nil {
+		b.readHook.Store(nil)
+		return
+	}
+	b.readHook.Store(&h)
 }
 
 // observe applies the read hook, if any.
 func (b *Bank) observe(core int, e Event, v uint64) uint64 {
-	if b.readHook == nil {
+	h := b.readHook.Load()
+	if h == nil {
 		return v
 	}
-	return b.readHook(core, e, v)
+	return (*h)(core, e, v)
+}
+
+// cell returns the flat index for a core/event pair, bounds-checked by
+// the slice access itself for events and explicitly for cores.
+func (b *Bank) cell(core int, e Event) int {
+	if core < 0 || core >= b.cores {
+		panic(fmt.Sprintf("counters: core %d outside bank of %d cores", core, b.cores))
+	}
+	return core*int(numEvents) + int(e)
 }
 
 // Add increments an event counter on a core.
 func (b *Bank) Add(core int, e Event, delta uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.vals[core][e] += delta
+	b.vals[b.cell(core, e)].Add(delta)
 }
 
 // Read returns the current value of an event counter on a core.
 func (b *Bank) Read(core int, e Event) uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.observe(core, e, b.vals[core][e])
+	return b.observe(core, e, b.vals[b.cell(core, e)].Load())
 }
 
 // Total returns the event count summed over all cores.
 func (b *Bank) Total(e Event) uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	var sum uint64
 	for c := 0; c < b.cores; c++ {
-		sum += b.observe(c, e, b.vals[c][e])
+		sum += b.observe(c, e, b.vals[c*int(numEvents)+int(e)].Load())
 	}
 	return sum
 }
 
 // Snapshot returns a copy of every counter, indexed [core][event].
 func (b *Bank) Snapshot() [][]uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	out := make([][]uint64, b.cores)
 	for c := range out {
-		out[c] = append([]uint64(nil), b.vals[c]...)
+		row := make([]uint64, numEvents)
+		for e := 0; e < int(numEvents); e++ {
+			row[e] = b.vals[c*int(numEvents)+e].Load()
+		}
+		out[c] = row
 	}
 	return out
 }

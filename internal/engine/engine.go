@@ -20,6 +20,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"progresscap/internal/counters"
@@ -193,6 +194,7 @@ type job struct {
 	reporter *progress.Reporter
 	monitor  *progress.Monitor
 	sub      *pubsub.Subscription
+	dec      *progress.Decoder
 	res      *JobResult
 }
 
@@ -223,6 +225,21 @@ type Engine struct {
 	lastFlush  time.Duration
 	energyMark float64
 
+	// Payload recycling: progress-report buffers flow Reporter.Publish →
+	// bus → job subscription → flushWindow, where — once decoded — the
+	// buffer's lifetime provably ends and it returns to payloadFree for the
+	// next Publish. recycle is latched at start() and permanently cleared
+	// the moment any condition fails (fault layer installed, an external
+	// bus subscriber, or overlapping job topics), because a recycled buffer
+	// some other party still references would be silent corruption.
+	recycle        bool
+	topicsDisjoint bool
+	payloadFree    [][]byte
+
+	// reserved notes that trace series and sample slices were pre-sized
+	// from the first Advance's horizon.
+	reserved bool
+
 	windowHook func(WindowStats)
 
 	// Fault injection (nil in a clean run; every consultation is a single
@@ -247,6 +264,23 @@ func (p busPublisher) PublishPayload(topic string, payload []byte) int {
 		return delivered
 	}
 	return p.e.bus.Publish(m)
+}
+
+// AcquirePayload implements progress.BufferSource: it hands the Reporter a
+// recycled payload buffer when recycling is active, or a fresh allocation
+// otherwise. See Engine.recycle for the safety conditions.
+func (p busPublisher) AcquirePayload(n int) []byte {
+	e := p.e
+	if e.recycle {
+		if k := len(e.payloadFree); k > 0 {
+			buf := e.payloadFree[k-1]
+			e.payloadFree = e.payloadFree[:k-1]
+			if cap(buf) >= n {
+				return buf[:0]
+			}
+		}
+	}
+	return make([]byte, 0, n)
 }
 
 // New assembles an engine for one workload.
@@ -313,12 +347,27 @@ func NewMulti(cfg Config, ws ...*workload.Workload) (*Engine, error) {
 			reporter: progress.NewReporter(w.Name, busPublisher{e}),
 			monitor:  progress.NewMonitor(cfg.Window),
 			sub:      bus.Subscribe(progress.Topic(w.Name), 1024),
+			dec:      progress.NewDecoder(),
 			res: &JobResult{
 				Workload:  w.Name,
 				Metric:    w.Metric,
 				RateTrace: trace.NewSeries("progress.rate."+w.Name, w.Metric),
 			},
 		})
+	}
+	// Payload recycling requires each report to reach exactly one
+	// subscription: with one prefix-subscription per job, that holds iff no
+	// job's topic is a prefix of another's (equal names included).
+	e.topicsDisjoint = true
+	for i := range ws {
+		for k := range ws {
+			if i == k {
+				continue
+			}
+			if strings.HasPrefix(progress.Topic(ws[i].Name), progress.Topic(ws[k].Name)) {
+				e.topicsDisjoint = false
+			}
+		}
 	}
 	e.raplTicker = simtime.NewTicker(0, cfg.RAPL.ControlPeriod)
 	e.windowTicker = simtime.NewTicker(0, cfg.Window)
@@ -451,6 +500,13 @@ func (e *Engine) start() error {
 		e.res.Jobs = append(e.res.Jobs, j.res)
 	}
 	e.events.Start(0)
+	// Latch the payload-recycling decision: every party that could extend
+	// a payload's lifetime (fault layer, external subscribers) is installed
+	// before the first Advance per the Set* contracts, so the conditions
+	// are stable from here — and flushWindow re-checks them anyway, turning
+	// recycling off for good if one is violated mid-run.
+	e.recycle = e.topicsDisjoint && e.pubFaults == nil &&
+		e.bus.NumSubscribers() == len(e.jobs)
 	// Apply the policy once at t=0 so the first window runs under it.
 	if e.daemon != nil {
 		if err := e.daemon.Apply(0); err != nil {
@@ -480,7 +536,23 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 	tick := e.cfg.Tick
 	cores := e.cfg.CPU.Cores
 
-	for !e.Done() && e.clock.Now() < limit {
+	// Pre-size per-window storage from the first horizon: Run-style
+	// callers advance once over the whole duration, so this sizes every
+	// trace and sample slice exactly; incremental callers just fall back
+	// to append growth.
+	if !e.reserved {
+		e.reserved = true
+		e.reserve(int(limit/e.cfg.Window) + 2)
+	}
+
+	// Hoist loop-invariant interfaces and nil-checks out of the tick loop.
+	// A nil fault layer or absent policy daemon must cost nothing per tick.
+	pubFaults := e.pubFaults
+	policyTicker := e.policyTicker
+	daemon := e.daemon
+	done := e.Done()
+
+	for !done && e.clock.Now() < limit {
 		now := e.clock.Now() + tick
 
 		// 1. Workloads consume the tick at the current operating point.
@@ -488,6 +560,7 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 		memFactor := e.uncore.MemTimeFactor()
 		var engaged, sleeping int
 		var actSum, bwUtil float64
+		completed := false
 		for _, j := range e.jobs {
 			out := j.exec.Step(now, tick, effHz, memFactor)
 			engaged += out.Engaged
@@ -496,6 +569,7 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 			bwUtil += out.BWUtil
 			// 2. Publish completed iterations as progress reports.
 			for _, ev := range out.Completions {
+				completed = true
 				j.reporter.Publish(ev.Phase, ev.Progress, ev.At)
 				j.res.WorkUnits += ev.WorkUnits
 				e.res.WorkUnits += ev.WorkUnits
@@ -503,8 +577,8 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 		}
 		// Release any fault-delayed progress reports that have come due;
 		// they re-enter after newer traffic, i.e. reordered.
-		if e.pubFaults != nil {
-			for _, m := range e.pubFaults.Due(now) {
+		if pubFaults != nil {
+			for _, m := range pubFaults.Due(now) {
 				e.bus.Publish(m)
 			}
 		}
@@ -537,9 +611,9 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 		}
 
 		// 5. Policy daemon (1 Hz).
-		if e.policyTicker != nil {
-			for e.policyTicker.FiredAt(now) {
-				if err := e.daemon.Apply(now); err != nil {
+		if policyTicker != nil {
+			for policyTicker.FiredAt(now) {
+				if err := daemon.Apply(now); err != nil {
 					return false, err
 				}
 			}
@@ -549,8 +623,35 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 		for e.windowTicker.FiredAt(now) {
 			e.flushWindow(now)
 		}
+
+		// A workload can only transition to done on a tick that completed
+		// its final iteration, so the all-jobs scan runs only then.
+		if completed {
+			done = e.Done()
+		}
 	}
-	return e.Done(), nil
+	return done, nil
+}
+
+// reserve pre-sizes every per-window trace and sample slice for nWin
+// aggregation windows.
+func (e *Engine) reserve(nWin int) {
+	if nWin <= 0 {
+		return
+	}
+	e.res.PowerTrace.Reserve(nWin)
+	e.res.CoreTrace.Reserve(nWin)
+	e.res.FreqTrace.Reserve(nWin)
+	e.res.DutyTrace.Reserve(nWin)
+	e.res.BWTrace.Reserve(nWin)
+	for _, j := range e.jobs {
+		j.res.RateTrace.Reserve(nWin)
+		if cap(j.res.Samples) < nWin {
+			s := make([]progress.Sample, len(j.res.Samples), nWin)
+			copy(s, j.res.Samples)
+			j.res.Samples = s
+		}
+	}
 }
 
 // Finish closes out the run and returns the collected result. The engine
@@ -615,6 +716,14 @@ func (e *Engine) flushWindow(now time.Duration) {
 	if winSec <= 0 {
 		return
 	}
+	// Re-check the recycling conditions: if a fault layer or an external
+	// subscriber appeared mid-run, stop recycling for good (never
+	// re-enable — a buffer handed to an outside party earlier must not be
+	// reused while they may still hold it).
+	if e.recycle && (e.pubFaults != nil || e.bus.NumSubscribers() != len(e.jobs)) {
+		e.recycle = false
+		e.payloadFree = nil
+	}
 	var primary progress.Sample
 	for i, j := range e.jobs {
 		for {
@@ -622,10 +731,15 @@ func (e *Engine) flushWindow(now time.Duration) {
 			if !ok {
 				break
 			}
-			rep, err := progress.UnmarshalReport(m.Payload)
+			rep, err := j.dec.Unmarshal(m.Payload)
 			if err != nil {
 				// A malformed report indicates an engine bug, not user error.
 				panic(fmt.Sprintf("engine: bad progress payload: %v", err))
+			}
+			// The decoder interned every byte it needed; the payload's
+			// lifetime ends here and the buffer can carry the next report.
+			if e.recycle {
+				e.payloadFree = append(e.payloadFree, m.Payload[:0])
 			}
 			j.monitor.Offer(rep)
 		}

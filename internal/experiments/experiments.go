@@ -18,8 +18,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
-	"time"
+	"sync"
 
 	"progresscap/internal/engine"
 	"progresscap/internal/policy"
@@ -32,11 +33,21 @@ import (
 // time; increase RunSeconds/Reps for tighter statistics.
 type Options struct {
 	// RunSeconds is the virtual duration of one measurement run.
+	//
+	// Sentinel: 0 means "use the default" (12); there is no way to request
+	// a zero-length run. Negative values are rejected with an error rather
+	// than silently running a zero-length sweep.
 	RunSeconds float64
 	// Reps is the number of repetitions averaged per power cap in
 	// Figure 4 (the paper uses five).
+	//
+	// Sentinel: 0 means "use the default" (3). Negative values are
+	// rejected with an error.
 	Reps int
 	// Seed is the base RNG seed; repetition k uses Seed+k.
+	//
+	// Sentinel: 0 means "use the default" (1) — seed 0 is not a usable
+	// seed, matching engine.Config.Seed.
 	Seed uint64
 	// CheckInvariants arms the engine-level safety invariant checker
 	// (cap range, monotonic energy, bounded actuation rate) on every run
@@ -44,15 +55,44 @@ type Options struct {
 	// the chaos harness enable it unconditionally; cmd/experiments
 	// exposes it as -invariants.
 	CheckInvariants bool
+	// Parallel bounds how many simulations run concurrently.
+	//
+	// Sentinel: 0 (or negative) means GOMAXPROCS. 1 reproduces the old
+	// fully serial harness. Results are byte-identical at any setting;
+	// only wall time changes.
+	Parallel int
+
+	// runner schedules and memoizes runs. All generators reached through
+	// one Options value (All, or cmd/experiments via WithRunner) share it,
+	// so cross-artifact baselines simulate once. Lazily created by
+	// fillDefaults when unset.
+	runner *Runner
 }
 
 // DefaultOptions returns the standard harness scale: 12-second runs,
-// 3 repetitions.
+// 3 repetitions, GOMAXPROCS-wide scheduling.
 func DefaultOptions() Options {
 	return Options{RunSeconds: 12, Reps: 3, Seed: 1}
 }
 
-func (o *Options) fillDefaults() {
+// WithRunner returns a copy of o routing every run through r, letting a
+// caller share one memoizing scheduler across several artifact
+// generations (cmd/experiments does this for the whole suite).
+func (o Options) WithRunner(r *Runner) Options {
+	o.runner = r
+	return o
+}
+
+// fillDefaults validates o and replaces sentinel zeros with defaults.
+// Every generator calls it on its own copy, so a shared runner must be
+// injected (via All or WithRunner) before the copies diverge.
+func (o *Options) fillDefaults() error {
+	if o.RunSeconds < 0 {
+		return fmt.Errorf("experiments: negative RunSeconds %v", o.RunSeconds)
+	}
+	if o.Reps < 0 {
+		return fmt.Errorf("experiments: negative Reps %d", o.Reps)
+	}
 	if o.RunSeconds == 0 {
 		o.RunSeconds = 12
 	}
@@ -62,6 +102,13 @@ func (o *Options) fillDefaults() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.runner == nil {
+		o.runner = NewRunner(o.Parallel)
+	}
+	return nil
 }
 
 // NamedPlot pairs a file-name-friendly identifier with an SVG plot.
@@ -105,48 +152,38 @@ func (a *Artifact) Render() string {
 	return b.String()
 }
 
+// capSpec describes one run under a scheme (nil = uncapped). mk must
+// build a fresh workload per call when the spec will be Prefetched.
+func (o Options) capSpec(mk func() *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) RunSpec {
+	return RunSpec{Make: mk, Scheme: scheme, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants}
+}
+
+// dvfsSpec describes one run pinned at a frequency with RAPL manual.
+func (o Options) dvfsSpec(mk func() *workload.Workload, mhz float64, seed uint64, maxSeconds float64) RunSpec {
+	return RunSpec{Make: mk, DVFSMHz: mhz, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants}
+}
+
 // run executes one workload under a scheme (nil = uncapped) and returns
-// the result. All experiment runs share this path so they use the same
-// node configuration (and the same invariant checking, when enabled).
+// the result. All experiment runs flow through the Options' Runner so
+// they use the same node configuration (and the same invariant checking,
+// when enabled) and identical runs are memoized. The caller may reuse w
+// afterwards: execution happens on this goroutine.
 func (o Options) run(w *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) (*engine.Result, error) {
-	cfg := engine.DefaultConfig()
-	cfg.Seed = seed
-	e, err := engine.New(cfg, w)
-	if err != nil {
-		return nil, err
-	}
-	if o.CheckInvariants {
-		e.EnableInvariants(engine.InvariantConfig{})
-	}
-	if scheme != nil {
-		if err := e.SetScheme(scheme); err != nil {
-			return nil, err
-		}
-	}
-	res, err := e.Run(time.Duration(maxSeconds * float64(time.Second)))
-	if err != nil {
-		return nil, err
-	}
-	return res, invariantErr(e)
+	return o.rn().Do(o.capSpec(func() *workload.Workload { return w }, scheme, seed, maxSeconds))
 }
 
 // runDVFS executes one workload pinned at a frequency with RAPL manual.
 func (o Options) runDVFS(w *workload.Workload, mhz float64, seed uint64, maxSeconds float64) (*engine.Result, error) {
-	cfg := engine.DefaultConfig()
-	cfg.Seed = seed
-	e, err := engine.New(cfg, w)
-	if err != nil {
-		return nil, err
+	return o.rn().Do(o.dvfsSpec(func() *workload.Workload { return w }, mhz, seed, maxSeconds))
+}
+
+// rn returns the Options' runner, creating a serial fallback for callers
+// that bypassed fillDefaults (defensive; generators all call it).
+func (o Options) rn() *Runner {
+	if o.runner != nil {
+		return o.runner
 	}
-	if o.CheckInvariants {
-		e.EnableInvariants(engine.InvariantConfig{})
-	}
-	e.SetManualDVFS(mhz)
-	res, err := e.Run(time.Duration(maxSeconds * float64(time.Second)))
-	if err != nil {
-		return nil, err
-	}
-	return res, invariantErr(e)
+	return NewRunner(1)
 }
 
 // invariantErr folds a run's invariant violations into an error.
@@ -190,8 +227,17 @@ func meanSteadyPower(res *engine.Result, skip int) float64 {
 	return sum / float64(n)
 }
 
-// All regenerates every artifact in paper order.
+// All regenerates every artifact in paper order. The generators run
+// concurrently on one shared scheduler, so independent simulations
+// overlap (bounded by opts.Parallel) and baselines shared between
+// artifacts — Table 6 and Figure 4 characterize the same applications —
+// simulate once. Output is byte-identical to a serial run: each artifact
+// is assembled in its own deterministic order, and the returned slice is
+// always in paper order.
 func All(opts Options) ([]*Artifact, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	type gen struct {
 		name string
 		fn   func(Options) (*Artifact, error)
@@ -207,13 +253,23 @@ func All(opts Options) ([]*Artifact, error) {
 		{"fig4", Figure4},
 		{"fig5", Figure5},
 	}
-	var out []*Artifact
-	for _, g := range gens {
-		a, err := g.fn(opts)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", g.name, err)
-		}
-		out = append(out, a)
+	arts := make([]*Artifact, len(gens))
+	errs := make([]error, len(gens))
+	var wg sync.WaitGroup
+	for i, g := range gens {
+		wg.Add(1)
+		go func(i int, g gen) {
+			defer wg.Done()
+			arts[i], errs[i] = g.fn(opts)
+		}(i, g)
 	}
-	return out, nil
+	wg.Wait()
+	// Preserve the serial contract: on failure, return the artifacts that
+	// precede the first failing generator, plus its error.
+	for i, err := range errs {
+		if err != nil {
+			return arts[:i], fmt.Errorf("experiments: %s: %w", gens[i].name, err)
+		}
+	}
+	return arts, nil
 }

@@ -83,7 +83,9 @@ func peakOver(res *engine.Result, level float64, from time.Duration) float64 {
 // opts.CheckInvariants — a chaos harness that does not watch the safety
 // envelope is testing nothing.
 func RunCrashHarness(opts Options, killAt time.Duration) (*CrashReport, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	rep := &CrashReport{}
 	const dur = 30 * time.Second
 
@@ -294,7 +296,9 @@ func RunCrashHarness(opts Options, killAt time.Duration) (*CrashReport, error) {
 // under the RAPL deadman, panic loop into the circuit breaker) against
 // the paper's implicit always-up-daemon assumption.
 func ExtCrashes(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	rep, err := RunCrashHarness(opts, 10*time.Second)
 	if err != nil {
 		return nil, err

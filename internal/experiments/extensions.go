@@ -31,17 +31,30 @@ import (
 // evaluates both the paper's fixed α=2 model and the fitted model on
 // held-out caps.
 func ExtAlphaFit(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	calibCaps := []float64{160, 120, 80}
 	evalCaps := []float64{140, 100, 65}
 
 	tbl := trace.NewTable("", "Application", "Fitted α", "Held-out err % (α=2)", "Held-out err % (fitted)")
 	cases := characterizable(opts)
 	order := []int{3, 2, 0, 4} // LAMMPS, AMG, QMCPACK, STREAM
+	// Characterizations here match Table 6's specs exactly, so under a
+	// shared runner they come straight from cache.
+	for _, idx := range order {
+		c := cases[idx]
+		fast, slow := opts.charSpecs(c.mk, opts.Seed, opts.RunSeconds*4)
+		opts.rn().Prefetch(fast)
+		opts.rn().Prefetch(slow)
+		for _, capW := range append(append([]float64(nil), calibCaps...), evalCaps...) {
+			opts.rn().Prefetch(opts.capSpec(c.mk, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds))
+		}
+	}
 	var fixedErrs, fittedErrs []float64
 	for _, idx := range order {
 		c := cases[idx]
-		beta, _, baseRate, basePkgW, err := CharacterizeBeta(c.w, opts.Seed, opts.RunSeconds*4)
+		beta, _, baseRate, basePkgW, err := opts.characterize(c.mk, opts.Seed, opts.RunSeconds*4)
 		if err != nil {
 			return nil, fmt.Errorf("ext-alpha: %s: %w", c.name, err)
 		}
@@ -50,7 +63,7 @@ func ExtAlphaFit(opts Options) (*Artifact, error) {
 			return nil, fmt.Errorf("ext-alpha: %s: %w", c.name, err)
 		}
 		measure := func(capW float64) (float64, error) {
-			res, err := opts.run(c.w, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+			res, err := opts.rn().Do(opts.capSpec(c.mk, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds))
 			if err != nil {
 				return 0, err
 			}
@@ -98,7 +111,9 @@ func ExtAlphaFit(opts Options) (*Artifact, error) {
 // paper's NRM has (§II): RAPL capping, plain DVFS, and DDCM, on both a
 // compute-bound and a memory-bound code.
 func ExtTechniques(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	tbl := trace.NewTable("", "Application", "Technique", "Setting", "Power (W)", "Progress (norm.)")
 	mk := map[string]func() *workload.Workload{
 		"LAMMPS": func() *workload.Workload { return apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*30)) },
@@ -162,7 +177,9 @@ func ExtTechniques(opts Options) (*Artifact, error) {
 // shows the combined metric follows a dynamic cap even though neither
 // component alone is a reliable job-level metric.
 func ExtComposite(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	secs := opts.RunSeconds * 2
 	if secs < 24 {
 		secs = 24
@@ -256,7 +273,9 @@ func ExtComposite(opts Options) (*Artifact, error) {
 // for energy, and static power gives both metrics an interior optimum —
 // the trade a budget-setting layer navigates with the progress model.
 func ExtEnergy(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	tbl := trace.NewTable("", "Application", "Cap (W)", "Time (s)", "Energy (kJ)", "J per unit", "EDP (kJ·s)")
 	for _, appName := range []string{"LAMMPS", "STREAM"} {
 		var mk func() *workload.Workload
@@ -307,7 +326,9 @@ func ExtEnergy(opts Options) (*Artifact, error) {
 // heterogeneous nodes, quantifying what the paper's online progress
 // metric buys at the level above the node.
 func ExtCluster(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	steps := int(opts.RunSeconds * 3 * 20)
 	mkNodes := func(seedBase uint64) []*cluster.Node {
 		mk := func(name string, ineff float64, seed uint64) *cluster.Node {

@@ -20,7 +20,9 @@ import (
 // controller misbehaves (loses track of progress, or worse, overshoots
 // its power budget while blind).
 func ExtFaults(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	const budgetW = 120
 
 	// NRM run under a fault plan (nil = clean). The workload is sized to

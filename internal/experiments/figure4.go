@@ -40,12 +40,14 @@ type Fig4App struct {
 //     quantity from the stable half of its step-function schedule.
 //  4. The model predicts the change via Eqs. 5+7 with α = 2.
 func Figure4Data(opts Options) ([]Fig4App, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	caps := []float64{160, 140, 120, 100, 80, 65}
 
 	type appCase struct {
 		name string
-		w    *workload.Workload
+		mk   func() *workload.Workload
 		secs float64 // per-run virtual duration
 	}
 	secs := opts.RunSeconds
@@ -58,17 +60,29 @@ func Figure4Data(opts Options) ([]Fig4App, error) {
 	}
 	mk := characterizableScaled(opts, openmcSecs)
 	cases := []appCase{
-		{"LAMMPS", mk[3].w, secs},
-		{"AMG", mk[2].w, secs},
-		{"QMCPACK (DMC)", mk[0].w, secs},
-		{"STREAM", mk[4].w, secs},
-		{"OpenMC (active)", mk[1].w, openmcSecs},
+		{"LAMMPS", mk[3].mk, secs},
+		{"AMG", mk[2].mk, secs},
+		{"QMCPACK (DMC)", mk[0].mk, secs},
+		{"STREAM", mk[4].mk, secs},
+		{"OpenMC (active)", mk[1].mk, openmcSecs},
+	}
+
+	// Fan the whole sweep out up front: 10 characterization runs (8 shared
+	// with Table 6 at default scale) plus caps × Reps capped runs per app.
+	for _, c := range cases {
+		fast, slow := opts.charSpecs(c.mk, opts.Seed, c.secs*4)
+		opts.rn().Prefetch(fast)
+		opts.rn().Prefetch(slow)
+		for _, capW := range caps {
+			for rep := 0; rep < opts.Reps; rep++ {
+				opts.rn().Prefetch(opts.capSpec(c.mk, policy.Constant{Watts: capW}, opts.Seed+uint64(rep)*101, c.secs))
+			}
+		}
 	}
 
 	var out []Fig4App
 	for _, c := range cases {
-		w := c.w
-		beta, _, baseRate, basePkgW, err := CharacterizeBeta(w, opts.Seed, c.secs*4)
+		beta, _, baseRate, basePkgW, err := opts.characterize(c.mk, opts.Seed, c.secs*4)
 		if err != nil {
 			return nil, fmt.Errorf("figure4: characterizing %s: %w", c.name, err)
 		}
@@ -80,7 +94,7 @@ func Figure4Data(opts Options) ([]Fig4App, error) {
 		for _, capW := range caps {
 			var drops []float64
 			for rep := 0; rep < opts.Reps; rep++ {
-				res, err := opts.run(w, policy.Constant{Watts: capW}, opts.Seed+uint64(rep)*101, c.secs)
+				res, err := opts.rn().Do(opts.capSpec(c.mk, policy.Constant{Watts: capW}, opts.Seed+uint64(rep)*101, c.secs))
 				if err != nil {
 					return nil, fmt.Errorf("figure4: %s cap %v rep %d: %w", c.name, capW, rep, err)
 				}

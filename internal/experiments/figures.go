@@ -18,7 +18,9 @@ import (
 // Figure1 reproduces Fig 1: characterizing online performance. LAMMPS is
 // steady, AMG fluctuates, QMCPACK shows three phased levels.
 func Figure1(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	// Phase classification needs at least ~6 aggregation windows per
 	// QMCPACK phase, so the characterization runs are never shorter than
 	// 24 virtual seconds.
@@ -28,13 +30,17 @@ func Figure1(opts Options) (*Artifact, error) {
 	}
 	cases := []struct {
 		name string
-		w    *workload.Workload
+		mk   func() *workload.Workload
 		want progress.Behavior
 	}{
-		{"LAMMPS", apps.LAMMPS(apps.DefaultRanks, int(secs*20)), progress.Steady},
-		{"AMG", apps.AMG(apps.DefaultRanks, int(secs*2.75)), progress.Fluctuating},
-		{"QMCPACK", apps.QMCPACK(apps.DefaultRanks,
-			int(secs/3*8), int(secs/3*12), int(secs/3*16)), progress.Phased},
+		{"LAMMPS", func() *workload.Workload { return apps.LAMMPS(apps.DefaultRanks, int(secs*20)) }, progress.Steady},
+		{"AMG", func() *workload.Workload { return apps.AMG(apps.DefaultRanks, int(secs*2.75)) }, progress.Fluctuating},
+		{"QMCPACK", func() *workload.Workload {
+			return apps.QMCPACK(apps.DefaultRanks, int(secs/3*8), int(secs/3*12), int(secs/3*16))
+		}, progress.Phased},
+	}
+	for _, c := range cases {
+		opts.rn().Prefetch(opts.capSpec(c.mk, nil, opts.Seed, secs*2))
 	}
 	tbl := trace.NewTable("", "Application", "Metric", "Mean rate", "CV", "Behavior", "Expected")
 	var notes []string
@@ -43,7 +49,7 @@ func Figure1(opts Options) (*Artifact, error) {
 		Title: "Characterizing online performance (uncapped)",
 	}
 	for _, c := range cases {
-		res, err := opts.run(c.w, nil, opts.Seed, secs*2)
+		res, err := opts.rn().Do(opts.capSpec(c.mk, nil, opts.Seed, secs*2))
 		if err != nil {
 			return nil, fmt.Errorf("fig1: %s: %w", c.name, err)
 		}
@@ -51,7 +57,7 @@ func Figure1(opts Options) (*Artifact, error) {
 		behavior := progress.Classify(rates)
 		tbl.AddRow(
 			c.name,
-			c.w.Metric,
+			res.Jobs[0].Metric,
 			trace.Formatted(stats.Mean(rates)),
 			fmt.Sprintf("%.3f", stats.CoefVar(rates)),
 			behavior.String(),
@@ -60,7 +66,7 @@ func Figure1(opts Options) (*Artifact, error) {
 		notes = append(notes, fmt.Sprintf("%-8s %s", c.name, trace.Sparkline(rates)))
 
 		plot := trace.NewPlot(fmt.Sprintf("Fig 1: %s online performance (%s)", c.name, behavior),
-			"time (s)", c.w.Metric)
+			"time (s)", res.Jobs[0].Metric)
 		if err := plot.Line(c.name, res.RateTrace.Times(), res.RateTrace.Values()); err != nil {
 			return nil, err
 		}
@@ -75,23 +81,31 @@ func Figure1(opts Options) (*Artifact, error) {
 // management — under identical package caps the compute-bound LAMMPS
 // runs at a higher CPU frequency than the memory-bound STREAM.
 func Figure2(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	caps := []float64{170, 150, 130, 110, 90}
+	mkLammps := func() *workload.Workload { return apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*30)) }
+	mkStream := func() *workload.Workload { return apps.STREAM(apps.DefaultRanks, int(opts.RunSeconds*24)) }
+	for _, capW := range caps {
+		opts.rn().Prefetch(opts.capSpec(mkLammps, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds))
+		opts.rn().Prefetch(opts.capSpec(mkStream, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds))
+	}
 	tbl := trace.NewTable("", "Package cap (W)", "LAMMPS freq (MHz)", "STREAM freq (MHz)")
 	var lF, sF []float64
 	for _, capW := range caps {
-		freq := func(w *workload.Workload) (float64, error) {
-			res, err := opts.run(w, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+		freq := func(mk func() *workload.Workload) (float64, error) {
+			res, err := opts.rn().Do(opts.capSpec(mk, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds))
 			if err != nil {
 				return 0, err
 			}
 			return stats.Mean(res.FreqTrace.Values()[2:]), nil
 		}
-		fl, err := freq(apps.LAMMPS(apps.DefaultRanks, int(opts.RunSeconds*30)))
+		fl, err := freq(mkLammps)
 		if err != nil {
 			return nil, fmt.Errorf("fig2: lammps: %w", err)
 		}
-		fs, err := freq(apps.STREAM(apps.DefaultRanks, int(opts.RunSeconds*24)))
+		fs, err := freq(mkStream)
 		if err != nil {
 			return nil, fmt.Errorf("fig2: stream: %w", err)
 		}
@@ -125,7 +139,9 @@ func Figure2(opts Options) (*Artifact, error) {
 // Figure3 reproduces Fig 3: the online performance follows the
 // power-capping function for every scheme and application.
 func Figure3(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	secs := opts.RunSeconds * 3
 	schemes := []policy.Scheme{
 		policy.Linear{Delay: 4 * time.Second, StartW: 170, MinW: 80,
@@ -147,6 +163,11 @@ func Figure3(opts Options) (*Artifact, error) {
 			return apps.OpenMC(apps.DefaultRanks, 1, int(secs*1.5), 100000).SubsetPhase("active")
 		}},
 	}
+	for _, sch := range schemes {
+		for _, wl := range workloads {
+			opts.rn().Prefetch(opts.capSpec(wl.mk, sch, opts.Seed, secs))
+		}
+	}
 	tbl := trace.NewTable("", "Scheme", "Application", "corr(cap, progress)")
 	var notes []string
 	art := &Artifact{
@@ -155,7 +176,7 @@ func Figure3(opts Options) (*Artifact, error) {
 	}
 	for _, sch := range schemes {
 		for _, wl := range workloads {
-			res, err := opts.run(wl.mk(), sch, opts.Seed, secs)
+			res, err := opts.rn().Do(opts.capSpec(wl.mk, sch, opts.Seed, secs))
 			if err != nil {
 				return nil, fmt.Errorf("fig3: %s/%s: %w", sch.Name(), wl.name, err)
 			}
@@ -261,16 +282,28 @@ func alignCapAndRate(res *engine.Result) (caps, rates []float64) {
 // more progress than RAPL at the same package power, because RAPL's
 // stringent-cap enforcement also throttles the uncore.
 func Figure5(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	mkStream := func() *workload.Workload {
 		return apps.STREAM(apps.DefaultRanks, int(opts.RunSeconds*24))
+	}
+	raplCaps := []float64{150, 130, 110, 90, 70, 55}
+	dvfsPoints := []float64{3300, 2800, 2300, 1800, 1300, 1000}
+	// Four of the six RAPL caps coincide with Figure 2's STREAM runs; the
+	// shared scheduler serves those from cache.
+	for _, capW := range raplCaps {
+		opts.rn().Prefetch(opts.capSpec(mkStream, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds))
+	}
+	for _, mhz := range dvfsPoints {
+		opts.rn().Prefetch(opts.dvfsSpec(mkStream, mhz, opts.Seed, opts.RunSeconds))
 	}
 	tbl := trace.NewTable("", "Technique", "Setting", "Package power (W)", "Progress (iterations/s)")
 
 	var raplPts, dvfsPts []powerRatePoint
 
-	for _, capW := range []float64{150, 130, 110, 90, 70, 55} {
-		res, err := opts.run(mkStream(), policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds)
+	for _, capW := range raplCaps {
+		res, err := opts.rn().Do(opts.capSpec(mkStream, policy.Constant{Watts: capW}, opts.Seed, opts.RunSeconds))
 		if err != nil {
 			return nil, fmt.Errorf("fig5: rapl %v: %w", capW, err)
 		}
@@ -280,8 +313,8 @@ func Figure5(opts Options) (*Artifact, error) {
 		tbl.AddRow("RAPL", fmt.Sprintf("cap %.0f W", capW),
 			trace.Formatted(p), fmt.Sprintf("%.2f", r))
 	}
-	for _, mhz := range []float64{3300, 2800, 2300, 1800, 1300, 1000} {
-		res, err := opts.runDVFS(mkStream(), mhz, opts.Seed, opts.RunSeconds)
+	for _, mhz := range dvfsPoints {
+		res, err := opts.rn().Do(opts.dvfsSpec(mkStream, mhz, opts.Seed, opts.RunSeconds))
 		if err != nil {
 			return nil, fmt.Errorf("fig5: dvfs %v: %w", mhz, err)
 		}

@@ -17,7 +17,9 @@ import (
 // uses steady constant-cap runs. Both methods must agree for the
 // reproduction to be trustworthy.
 func ExtMethod(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	caps := []float64{140, 110, 80}
 
 	// Uncapped baseline.

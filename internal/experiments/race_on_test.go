@@ -2,4 +2,27 @@
 
 package experiments
 
+import "testing"
+
 const raceDetector = true
+
+// TestSchedulerRenderUnderRace renders one simulation-backed artifact
+// through a wide scheduler and a serial one under the race detector and
+// asserts byte-identical output. The heavyweight determinism sweep
+// (TestAllParallelDeterminism) is skipped under -race; this keeps the
+// scheduler's concurrent claim/execute/collect paths race-exercised on
+// every tier-1 run.
+func TestSchedulerRenderUnderRace(t *testing.T) {
+	render := func(parallel int) string {
+		opts := quickOpts()
+		opts.Parallel = parallel
+		art, err := Table1(opts)
+		if err != nil {
+			t.Fatalf("Table1(parallel=%d): %v", parallel, err)
+		}
+		return art.Render()
+	}
+	if serial, wide := render(1), render(8); serial != wide {
+		t.Fatalf("Table1 render differs between -parallel 1 and 8:\n%s\n---\n%s", serial, wide)
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"progresscap/internal/engine"
+	"progresscap/internal/policy"
+	"progresscap/internal/simtime"
+	"progresscap/internal/workload"
+)
+
+// RunSpec describes one independent measurement run: a workload executed
+// under either a capping scheme (DVFSMHz == 0) or a pinned DVFS operating
+// point (DVFSMHz > 0), from a given seed, for at most MaxSeconds of
+// virtual time.
+//
+// Make must build a fresh *workload.Workload on every call: application
+// generators carry per-instance closure state (the shared-jitter draws),
+// so a single instance must never be executed by two runs concurrently.
+// The Runner calls Make once to fingerprint the spec and once per actual
+// execution.
+type RunSpec struct {
+	Make       func() *workload.Workload
+	Scheme     policy.Scheme // nil = uncapped; ignored when DVFSMHz > 0
+	DVFSMHz    float64
+	Seed       uint64
+	MaxSeconds float64
+	// Invariants arms the engine invariant checker for this run. It is
+	// part of the memoization key: an invariant-checked run can fail where
+	// an unchecked one succeeds.
+	Invariants bool
+}
+
+// key returns the canonical memoization key: a fingerprint of the
+// workload's construction (name, metric, ranks, phase structure, and
+// generator output probed at fixed corner coordinates with a fixed RNG)
+// combined with the operating point, seed, and duration. Two specs with
+// equal keys describe byte-identical simulations.
+func (s RunSpec) key() string {
+	h := fnv.New64a()
+	var scratch [8]byte
+	put64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			scratch[i] = byte(v >> (8 * i))
+		}
+		h.Write(scratch[:])
+	}
+	putF := func(f float64) { put64(math.Float64bits(f)) }
+	putS := func(str string) {
+		put64(uint64(len(str)))
+		h.Write([]byte(str))
+	}
+
+	w := s.Make()
+	putS(w.Name)
+	putS(w.Metric)
+	put64(uint64(w.Ranks))
+	// Probe each phase's generator at corner coordinates with a fixed,
+	// throwaway RNG: deterministic per construction, and sensitive to any
+	// parameter (jitter amplitude, segment split) the declarative fields
+	// don't expose. Rank 0 is probed first within each iteration because
+	// the shared-jitter closures re-draw there, resetting their state.
+	probeRNG := simtime.NewRNG(0x9e3779b97f4a7c15)
+	for _, p := range w.Phases {
+		putS(p.Name)
+		put64(uint64(p.Iterations))
+		putF(p.ProgressPerIter)
+		iters := []int{0}
+		if p.Iterations > 1 {
+			iters = append(iters, p.Iterations-1)
+		}
+		ranks := []int{0}
+		if w.Ranks > 1 {
+			ranks = append(ranks, 1, w.Ranks-1)
+		}
+		for _, it := range iters {
+			for _, r := range ranks {
+				seg := p.Gen(r, it, probeRNG)
+				putF(seg.ComputeCycles)
+				putF(seg.MemSeconds)
+				putF(seg.SleepSeconds)
+				putF(seg.Instructions)
+				putF(seg.L3Misses)
+				putF(seg.BWShare)
+				putF(seg.WorkUnits)
+			}
+		}
+	}
+
+	if s.DVFSMHz > 0 {
+		putS("dvfs")
+		putF(s.DVFSMHz)
+	} else if s.Scheme != nil {
+		putS(fmt.Sprintf("%T%+v", s.Scheme, s.Scheme))
+	} else {
+		putS("uncapped")
+	}
+	put64(s.Seed)
+	putF(s.MaxSeconds)
+	if s.Invariants {
+		put64(1)
+	} else {
+		put64(0)
+	}
+	return fmt.Sprintf("%s/%016x", w.Name, h.Sum64())
+}
+
+// runEntry is one memoized run: created exactly once per key, its done
+// channel closes when the result is available.
+type runEntry struct {
+	done       chan struct{}
+	res        *engine.Result
+	err        error
+	prefetched bool
+}
+
+// RunnerStats is a point-in-time snapshot of scheduler effectiveness.
+type RunnerStats struct {
+	Executed    uint64 // simulations actually run
+	CacheHits   uint64 // Do calls served from a memoized or in-flight run
+	PeakWorkers int    // maximum simulations in flight at once
+}
+
+// Runner fans independent experiment runs over a bounded worker pool and
+// memoizes completed runs by canonical run key, so a baseline shared
+// between artifacts (the uncapped LAMMPS/STREAM runs behind Table 6,
+// Fig 1, and Fig 4) simulates once per suite.
+//
+// Results returned by Do are shared between all callers with the same
+// key and must be treated as read-only.
+type Runner struct {
+	sem chan struct{}
+
+	mu      sync.Mutex
+	entries map[string]*runEntry
+
+	executed atomic.Uint64
+	hits     atomic.Uint64
+	active   atomic.Int64
+	peak     atomic.Int64
+}
+
+// NewRunner returns a Runner executing at most parallel simulations at
+// once; parallel <= 0 means GOMAXPROCS.
+func NewRunner(parallel int) *Runner {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		sem:     make(chan struct{}, parallel),
+		entries: make(map[string]*runEntry),
+	}
+}
+
+// Parallel returns the worker-pool bound.
+func (r *Runner) Parallel() int { return cap(r.sem) }
+
+// Stats returns the scheduler counters accumulated so far.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Executed:    r.executed.Load(),
+		CacheHits:   r.hits.Load(),
+		PeakWorkers: int(r.peak.Load()),
+	}
+}
+
+// claim returns the entry for key, creating it if needed; created is true
+// when this caller must execute the run.
+func (r *Runner) claim(key string, prefetch bool) (e *runEntry, created bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		return e, false
+	}
+	e = &runEntry{done: make(chan struct{}), prefetched: prefetch}
+	r.entries[key] = e
+	return e, true
+}
+
+// Do executes the spec — or waits for / returns the memoized result of an
+// identical run. It blocks until the result is available.
+func (r *Runner) Do(spec RunSpec) (*engine.Result, error) {
+	key := spec.key()
+	e, created := r.claim(key, false)
+	if created {
+		r.execute(spec, e)
+	} else {
+		// A generator prefetching its own runs and then collecting them is
+		// plumbing, not cache effectiveness; only count hits beyond the
+		// first collection of a prefetched run.
+		r.mu.Lock()
+		if e.prefetched {
+			e.prefetched = false
+		} else {
+			r.hits.Add(1)
+		}
+		r.mu.Unlock()
+	}
+	<-e.done
+	return e.res, e.err
+}
+
+// Prefetch schedules the spec asynchronously so a later Do returns
+// immediately. Specs already scheduled or completed are left alone.
+// Unlike Do with a captured workload, Prefetch strictly requires Make to
+// build a fresh instance per call (the run executes on another goroutine).
+func (r *Runner) Prefetch(spec RunSpec) {
+	key := spec.key()
+	e, created := r.claim(key, true)
+	if !created {
+		return
+	}
+	go r.execute(spec, e)
+}
+
+// execute runs the simulation under the worker-pool bound and publishes
+// the result.
+func (r *Runner) execute(spec RunSpec, e *runEntry) {
+	r.sem <- struct{}{}
+	if n := r.active.Add(1); n > r.peak.Load() {
+		// Benign race on the max: two concurrent updates both exceed the
+		// old peak; CAS-loop so the larger one wins.
+		for {
+			old := r.peak.Load()
+			if n <= old || r.peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+	}
+	defer func() {
+		r.active.Add(-1)
+		<-r.sem
+		close(e.done)
+	}()
+
+	e.res, e.err = runOnce(spec)
+	r.executed.Add(1)
+}
+
+// runOnce performs one simulation from scratch: the single execution path
+// every experiment run in the package flows through, so all of them use
+// the same node configuration.
+func runOnce(spec RunSpec) (*engine.Result, error) {
+	cfg := engine.DefaultConfig()
+	cfg.Seed = spec.Seed
+	eng, err := engine.New(cfg, spec.Make())
+	if err != nil {
+		return nil, err
+	}
+	if spec.Invariants {
+		eng.EnableInvariants(engine.InvariantConfig{})
+	}
+	switch {
+	case spec.DVFSMHz > 0:
+		eng.SetManualDVFS(spec.DVFSMHz)
+	case spec.Scheme != nil:
+		if err := eng.SetScheme(spec.Scheme); err != nil {
+			return nil, err
+		}
+	}
+	res, err := eng.Run(time.Duration(spec.MaxSeconds * float64(time.Second)))
+	if err != nil {
+		return nil, err
+	}
+	return res, invariantErr(eng)
+}

@@ -13,14 +13,22 @@ import (
 // with online performance. The Listing 1 sample runs with 24 ranks and
 // five one-second iterations, balanced and imbalanced.
 func Table1(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
 	tbl := trace.NewTable("",
 		"No. of MPI Processes", "do_work Routine",
 		"Def 1 (iterations/second)", "Def 2 (work units/second)", "MIPS", "Spin share")
 
-	for _, equal := range []bool{true, false} {
-		w := apps.ImbalanceSample(24, 5, equal, 1.0)
-		res, err := opts.run(w, nil, opts.Seed, 30)
+	variants := []bool{true, false}
+	mkSample := func(equal bool) func() *workload.Workload {
+		return func() *workload.Workload { return apps.ImbalanceSample(24, 5, equal, 1.0) }
+	}
+	for _, equal := range variants {
+		opts.rn().Prefetch(opts.capSpec(mkSample(equal), nil, opts.Seed, 30))
+	}
+	for _, equal := range variants {
+		res, err := opts.rn().Do(opts.capSpec(mkSample(equal), nil, opts.Seed, 30))
 		if err != nil {
 			return nil, err
 		}
@@ -102,43 +110,59 @@ func Table5() *Artifact {
 	}
 }
 
-// characterizable returns the five Table VI rows: name, workload subset,
-// and the paper's published β / MPO values.
+// characterizable returns the five Table VI rows: name, workload
+// factory, and the paper's published β / MPO values.
 func characterizable(opts Options) []charCase {
 	return characterizableScaled(opts, opts.RunSeconds)
 }
 
 type charCase struct {
 	name      string
-	w         *workload.Workload
+	mk        func() *workload.Workload
 	paperBeta float64
 	paperMPO  float64
 }
 
 // characterizableScaled sizes OpenMC separately: its ~1 s batches need
 // longer measurement runs than the sub-second-iteration applications.
+// The cases carry factories rather than instances so runs on the same
+// application can execute concurrently (generator closures are stateful).
 func characterizableScaled(opts Options, openmcSecs float64) []charCase {
 	secs := opts.RunSeconds
 	return []charCase{
-		{"QMCPACK (DMC)", apps.QMCPACK(apps.DefaultRanks, 1, 1, int(secs*16)).SubsetPhase("dmc"), 0.84, 3.91e-3},
-		{"OpenMC (Active)", apps.OpenMC(apps.DefaultRanks, 1, int(openmcSecs), 100000).SubsetPhase("active"), 0.93, 0.20e-3},
-		{"AMG", apps.AMG(apps.DefaultRanks, int(secs*2.75)), 0.52, 30.1e-3},
-		{"LAMMPS", apps.LAMMPS(apps.DefaultRanks, int(secs*20)), 1.00, 0.32e-3},
-		{"STREAM", apps.STREAM(apps.DefaultRanks, int(secs*16)), 0.37, 50.9e-3},
+		{"QMCPACK (DMC)", func() *workload.Workload {
+			return apps.QMCPACK(apps.DefaultRanks, 1, 1, int(secs*16)).SubsetPhase("dmc")
+		}, 0.84, 3.91e-3},
+		{"OpenMC (Active)", func() *workload.Workload {
+			return apps.OpenMC(apps.DefaultRanks, 1, int(openmcSecs), 100000).SubsetPhase("active")
+		}, 0.93, 0.20e-3},
+		{"AMG", func() *workload.Workload { return apps.AMG(apps.DefaultRanks, int(secs*2.75)) }, 0.52, 30.1e-3},
+		{"LAMMPS", func() *workload.Workload { return apps.LAMMPS(apps.DefaultRanks, int(secs*20)) }, 1.00, 0.32e-3},
+		{"STREAM", func() *workload.Workload { return apps.STREAM(apps.DefaultRanks, int(secs*16)) }, 0.37, 50.9e-3},
 	}
 }
 
-// CharacterizeBeta measures an application's β exactly as §IV-A
-// prescribes: execution time at 3300 MHz versus 1600 MHz, inverted
-// through the Etinski relation. It also returns the MPO and the mean
-// uncapped progress rate and package power from the fast run, which
-// Figure 4 reuses as its baseline.
-func CharacterizeBeta(w *workload.Workload, seed uint64, maxSeconds float64) (beta, mpo, rate, pkgW float64, err error) {
-	fast, err := Options{}.runDVFS(w, 3300, seed, maxSeconds)
+// charSpecs returns the two runs of the §IV-A characterization procedure:
+// the application at 3300 MHz and at 1600 MHz (the slow run gets 2.5× the
+// budget because it must still complete). Characterization runs never arm
+// the invariant checker, preserving the historical CharacterizeBeta
+// behavior regardless of Options.CheckInvariants.
+func (o Options) charSpecs(mk func() *workload.Workload, seed uint64, maxSeconds float64) (fast, slow RunSpec) {
+	co := o
+	co.CheckInvariants = false
+	return co.dvfsSpec(mk, 3300, seed, maxSeconds), co.dvfsSpec(mk, 1600, seed, maxSeconds*2.5)
+}
+
+// characterize runs (or collects the memoized results of) the two
+// characterization runs and derives β, MPO, and the uncapped baseline
+// rate and package power from them.
+func (o Options) characterize(mk func() *workload.Workload, seed uint64, maxSeconds float64) (beta, mpo, rate, pkgW float64, err error) {
+	fastSpec, slowSpec := o.charSpecs(mk, seed, maxSeconds)
+	fast, err := o.rn().Do(fastSpec)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	slow, err := Options{}.runDVFS(w, 1600, seed, maxSeconds*2.5)
+	slow, err := o.rn().Do(slowSpec)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -159,13 +183,40 @@ func CharacterizeBeta(w *workload.Workload, seed uint64, maxSeconds float64) (be
 	return beta, mpo, rate, pkgW, nil
 }
 
+// CharacterizeBeta measures an application's β exactly as §IV-A
+// prescribes: execution time at 3300 MHz versus 1600 MHz, inverted
+// through the Etinski relation. It also returns the MPO and the mean
+// uncapped progress rate and package power from the fast run, which
+// Figure 4 reuses as its baseline.
+//
+// The caller's workload instance is executed on this goroutine; callers
+// inside the harness should prefer Options.characterize, which shares the
+// suite's memoizing scheduler.
+func CharacterizeBeta(w *workload.Workload, seed uint64, maxSeconds float64) (beta, mpo, rate, pkgW float64, err error) {
+	var o Options
+	if err := o.fillDefaults(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return o.characterize(func() *workload.Workload { return w }, seed, maxSeconds)
+}
+
 // Table6 reproduces Table VI: β and MPO for the five characterizable
 // applications, measured with the paper's procedure.
 func Table6(opts Options) (*Artifact, error) {
-	opts.fillDefaults()
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	cases := characterizable(opts)
+	// Fan the ten characterization runs out before collecting any: the
+	// slow OpenMC pair no longer serializes behind the other four apps.
+	for _, c := range cases {
+		fast, slow := opts.charSpecs(c.mk, opts.Seed, opts.RunSeconds*4)
+		opts.rn().Prefetch(fast)
+		opts.rn().Prefetch(slow)
+	}
 	tbl := trace.NewTable("", "Application", "β Metric", "MPO Metric (×10⁻³)", "Paper β", "Paper MPO (×10⁻³)")
-	for _, c := range characterizable(opts) {
-		beta, mpo, _, _, err := CharacterizeBeta(c.w, opts.Seed, opts.RunSeconds*4)
+	for _, c := range cases {
+		beta, mpo, _, _, err := opts.characterize(c.mk, opts.Seed, opts.RunSeconds*4)
 		if err != nil {
 			return nil, fmt.Errorf("table6: %s: %w", c.name, err)
 		}

@@ -56,9 +56,19 @@ type Report struct {
 	At    time.Duration
 }
 
+// MarshaledSize returns the encoded length of the report.
+func (r Report) MarshaledSize() int { return 18 + len(r.App) + len(r.Phase) }
+
 // Marshal encodes the report into a compact binary payload.
 func (r Report) Marshal() []byte {
-	buf := make([]byte, 0, 18+len(r.App)+len(r.Phase))
+	return r.AppendMarshal(make([]byte, 0, r.MarshaledSize()))
+}
+
+// AppendMarshal appends the encoded report to buf and returns the
+// extended slice, allocating only if buf lacks capacity. It is the
+// allocation-free form of Marshal for callers that recycle payload
+// buffers.
+func (r Report) AppendMarshal(buf []byte) []byte {
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(r.Value))
 	buf = append(buf, tmp[:]...)
@@ -76,6 +86,38 @@ func (r Report) Marshal() []byte {
 
 // UnmarshalReport decodes a payload produced by Marshal.
 func UnmarshalReport(b []byte) (Report, error) {
+	return decodeReport(b, nil)
+}
+
+// Decoder decodes report payloads while interning the App and Phase
+// strings: an engine run decodes tens of thousands of reports that carry
+// the same handful of names, and a plain UnmarshalReport allocates two
+// fresh strings per report. A Decoder is not safe for concurrent use;
+// each consumer (one per engine) owns its own.
+type Decoder struct {
+	names map[string]string
+}
+
+// NewDecoder returns an empty interning decoder.
+func NewDecoder() *Decoder { return &Decoder{names: make(map[string]string)} }
+
+// Unmarshal decodes a payload, reusing previously seen name strings.
+func (d *Decoder) Unmarshal(b []byte) (Report, error) {
+	return decodeReport(b, d)
+}
+
+// intern returns the canonical string for b, allocating only on first
+// sight (the map lookup keyed by string(b) does not allocate).
+func (d *Decoder) intern(b []byte) string {
+	if s, ok := d.names[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	d.names[s] = s
+	return s
+}
+
+func decodeReport(b []byte, d *Decoder) (Report, error) {
 	if len(b) < 18 {
 		return Report{}, fmt.Errorf("progress: payload too short (%d bytes)", len(b))
 	}
@@ -88,14 +130,21 @@ func UnmarshalReport(b []byte) (Report, error) {
 	if pos+appLen+1 > len(b) {
 		return Report{}, fmt.Errorf("progress: truncated app name")
 	}
-	r.App = string(b[pos : pos+appLen])
+	appB := b[pos : pos+appLen]
 	pos += appLen
 	phaseLen := int(b[pos])
 	pos++
 	if pos+phaseLen > len(b) {
 		return Report{}, fmt.Errorf("progress: truncated phase name")
 	}
-	r.Phase = string(b[pos : pos+phaseLen])
+	phaseB := b[pos : pos+phaseLen]
+	if d != nil {
+		r.App = d.intern(appB)
+		r.Phase = d.intern(phaseB)
+	} else {
+		r.App = string(appB)
+		r.Phase = string(phaseB)
+	}
 	return r, nil
 }
 
@@ -104,25 +153,42 @@ type Publisher interface {
 	PublishPayload(topic string, payload []byte) int
 }
 
+// BufferSource is an optional second interface a Publisher can implement
+// to supply recycled payload buffers. AcquirePayload returns a zero-length
+// slice with capacity at least n; the Reporter fills it and hands it back
+// through PublishPayload, after which ownership (and any recycling) is the
+// publisher's problem. Publishers that cannot prove the payload's lifetime
+// ends at delivery must not implement it.
+type BufferSource interface {
+	AcquirePayload(n int) []byte
+}
+
 // Reporter is the instrumentation half: the application calls Publish for
 // every completed unit of work (timestep, block, batch, GMRES iteration).
 // Publishing is lossy and non-blocking, like the paper's ZeroMQ sockets.
 type Reporter struct {
 	app   string
 	pub   Publisher
+	bufs  BufferSource // non-nil iff pub recycles payload buffers
 	sent  uint64
 	topic string
 }
 
 // NewReporter returns a reporter for the named application.
 func NewReporter(app string, pub Publisher) *Reporter {
-	return &Reporter{app: app, pub: pub, topic: Topic(app)}
+	bufs, _ := pub.(BufferSource)
+	return &Reporter{app: app, pub: pub, bufs: bufs, topic: Topic(app)}
 }
 
 // Publish emits one progress report.
 func (r *Reporter) Publish(phase string, value float64, at time.Duration) {
 	r.sent++
-	r.pub.PublishPayload(r.topic, Report{App: r.app, Phase: phase, Value: value, At: at}.Marshal())
+	rep := Report{App: r.app, Phase: phase, Value: value, At: at}
+	buf := make([]byte, 0, rep.MarshaledSize())
+	if r.bufs != nil {
+		buf = r.bufs.AcquirePayload(rep.MarshaledSize())
+	}
+	r.pub.PublishPayload(r.topic, rep.AppendMarshal(buf))
 }
 
 // Sent returns how many reports have been published.
@@ -156,6 +222,11 @@ type Monitor struct {
 	history      []float64 // ring of recently accepted values
 	histPos      int
 	emptyWindows int
+
+	// medScratch is the sort buffer median reuses: the outlier guard runs
+	// once per accepted report, and a fresh 32-element copy per report was
+	// a measurable slice churn on the engine hot path.
+	medScratch []float64
 }
 
 // historySize is the outlier-guard ring length; outlierMinHistory is how
@@ -195,7 +266,8 @@ func (m *Monitor) Offer(r Report) bool {
 		return false
 	}
 	if len(m.history) >= outlierMinHistory {
-		if med := median(m.history); med > 0 && r.Value > med*outlierFactor {
+		m.medScratch = append(m.medScratch[:0], m.history...)
+		if med := median(m.medScratch); med > 0 && r.Value > med*outlierFactor {
 			m.rejected++
 			return false
 		}
@@ -212,18 +284,18 @@ func (m *Monitor) Offer(r Report) bool {
 	return true
 }
 
-// median returns the median of vs (vs is copied, not reordered).
+// median returns the median of vs, sorting it in place (callers pass a
+// scratch copy, never the live history ring).
 func median(vs []float64) float64 {
-	tmp := append([]float64(nil), vs...)
-	sort.Float64s(tmp)
-	n := len(tmp)
+	sort.Float64s(vs)
+	n := len(vs)
 	if n == 0 {
 		return 0
 	}
 	if n%2 == 1 {
-		return tmp[n/2]
+		return vs[n/2]
 	}
-	return (tmp[n/2-1] + tmp[n/2]) / 2
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // Flush closes the window ending at now and records its Sample. Windows

@@ -73,6 +73,15 @@ func (b *Bus) Publish(m Message) int {
 	return delivered
 }
 
+// NumSubscribers returns the current subscription count. The engine uses
+// it to prove no external observer holds a subscription before it recycles
+// payload buffers that delivered messages still reference.
+func (b *Bus) NumSubscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
 // Stats returns the total messages published to the bus and the total
 // drops across all subscriptions.
 func (b *Bus) Stats() (published, dropped uint64) {

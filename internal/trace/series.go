@@ -40,6 +40,19 @@ func (s *Series) Add(t time.Duration, v float64) {
 	s.pts = append(s.pts, Point{T: t, V: v})
 }
 
+// Reserve grows the series' capacity to hold at least n total samples,
+// so a caller that knows the run length (samples per window × windows)
+// can pre-size the backing array instead of growing it through repeated
+// append doublings on the hot path.
+func (s *Series) Reserve(n int) {
+	if n <= cap(s.pts) {
+		return
+	}
+	pts := make([]Point, len(s.pts), n)
+	copy(pts, s.pts)
+	s.pts = pts
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.pts) }
 

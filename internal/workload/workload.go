@@ -147,7 +147,10 @@ type StepOutput struct {
 	Activity float64
 	// BWUtil is the aggregate uncore bandwidth demand in [0,1].
 	BWUtil float64
-	// Completions lists iterations that finished during this tick.
+	// Completions lists iterations that finished during this tick. The
+	// slice aliases a buffer owned by the Exec and is overwritten by the
+	// next Step call; callers that retain events across ticks must copy
+	// the elements (the elements themselves are plain values).
 	Completions []IterationEvent
 }
 
@@ -187,6 +190,10 @@ type Exec struct {
 	iter      int
 	iterStart time.Duration
 	done      bool
+
+	// compBuf backs StepOutput.Completions across Step calls so the hot
+	// loop does not allocate one slice per completed iteration.
+	compBuf []IterationEvent
 }
 
 // NewExec prepares an executor. The counter bank must cover at least
@@ -407,7 +414,7 @@ func (e *Exec) Step(now time.Duration, dt time.Duration, effHz, memFactor float6
 		for r := range e.ranks {
 			units += e.ranks[r].seg.WorkUnits
 		}
-		out.Completions = append(out.Completions, IterationEvent{
+		e.compBuf = append(e.compBuf[:0], IterationEvent{
 			At:        now,
 			Phase:     p.Name,
 			PhaseIdx:  e.phaseIdx,
@@ -416,6 +423,7 @@ func (e *Exec) Step(now time.Duration, dt time.Duration, effHz, memFactor float6
 			WorkUnits: units,
 			Duration:  now - e.iterStart,
 		})
+		out.Completions = e.compBuf
 		e.advance(now)
 	}
 	return out

@@ -34,6 +34,7 @@ package progresscap
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"progresscap/internal/apps"
@@ -228,6 +229,14 @@ type Characterization struct {
 // Characterize measures β (execution time at 3300 vs 1600 MHz), MPO, and
 // the uncapped baseline for an application.
 func Characterize(app string, seconds float64, seed uint64) (Characterization, error) {
+	return CharacterizeParallel(app, seconds, seed, 1)
+}
+
+// CharacterizeParallel is Characterize with the two pinned measurement
+// runs overlapped when parallel > 1. Each run gets its own freshly built
+// workload instance and the same seed, so the result is identical at any
+// parallelism; only wall time changes.
+func CharacterizeParallel(app string, seconds float64, seed uint64, parallel int) (Characterization, error) {
 	if seconds == 0 {
 		seconds = 20
 	}
@@ -241,15 +250,31 @@ func Characterize(app string, seconds float64, seed uint64) (Characterization, e
 	if !info.Runnable() {
 		return Characterization{}, fmt.Errorf("progresscap: cannot characterize Category %s application %s", info.Category, info.Name)
 	}
-	w := info.Build(seconds)
 
-	fast, err := pinRun(w, 3300, seed, seconds*4)
-	if err != nil {
-		return Characterization{}, err
+	var (
+		fast, slow       *engine.Result
+		fastErr, slowErr error
+	)
+	runFast := func() { fast, fastErr = pinRun(info.Build(seconds), 3300, seed, seconds*4) }
+	runSlow := func() { slow, slowErr = pinRun(info.Build(seconds), 1600, seed, seconds*8) }
+	if parallel > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runSlow()
+		}()
+		runFast()
+		wg.Wait()
+	} else {
+		runFast()
+		runSlow()
 	}
-	slow, err := pinRun(w, 1600, seed, seconds*8)
-	if err != nil {
-		return Characterization{}, err
+	if fastErr != nil {
+		return Characterization{}, fastErr
+	}
+	if slowErr != nil {
+		return Characterization{}, slowErr
 	}
 	if !fast.Completed || !slow.Completed {
 		return Characterization{}, fmt.Errorf("progresscap: characterization runs did not complete")
