@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race soak bench bench-smoke experiments figures clean
+.PHONY: all verify build vet test test-race race soak bench bench-smoke experiments figures clean
+
+# `make` with no target runs the pre-merge gate.
+.DEFAULT_GOAL := verify
 
 all: build vet test test-race soak bench-smoke
+
+# The one-command pre-merge gate: build, vet, the full suite under the
+# race detector, and a single pass of every benchmark.
+verify: build vet test-race bench-smoke
 
 build:
 	$(GO) build ./...

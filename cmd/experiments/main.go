@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes); empty = all")
+	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes,ext-partitions); empty = all")
 	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
 	reps := flag.Int("reps", 3, "repetitions per power cap (Figure 4)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
@@ -78,6 +78,7 @@ func main() {
 		{"ext-method", experiments.ExtMethod},
 		{"ext-faults", experiments.ExtFaults},
 		{"ext-crashes", experiments.ExtCrashes},
+		{"ext-partitions", experiments.ExtPartitions},
 	}
 
 	want := map[string]bool{}

@@ -103,13 +103,25 @@ func main() {
 	}
 
 	// Optional TCP bridge: forward the engine's in-process progress
-	// stream to external subscribers.
+	// stream to external subscribers. printPubStats reports transport
+	// health (per-subscriber queue depth, sheds, reconnects) on every
+	// exit path so silently-lossy monitors are visible post-mortem.
+	printPubStats := func() {}
 	if *publish != "" {
 		pub, err := pubsub.NewPublisher(*publish)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer pub.Close()
+		printPubStats = func() {
+			st := pub.Stats()
+			log.Printf("transport: %d conns accepted (%d reconnects, %d lost), %d live, %d messages shed",
+				st.Accepted, st.Reconnects, st.ConnsLost, st.Live, st.Dropped)
+			for _, s := range st.Subscribers {
+				log.Printf("transport:   %s prefixes=%v queued=%d shed=%d",
+					s.Remote, s.Prefixes, s.QueueDepth, s.Dropped)
+			}
+		}
 		log.Printf("publishing progress on %s (topic %q)", pub.Addr(), progress.Topic(w.Name))
 		sub := e.Bus().Subscribe(progress.Topic(w.Name), 4096)
 		go func() {
@@ -214,6 +226,7 @@ loop:
 	fmt.Printf("# completed=%v elapsed=%.1fs energy=%.0fJ mean=%.2f %s, %d reports (%d dropped)\n",
 		res.Completed, res.Elapsed.Seconds(), res.EnergyJ, res.MeanRate(), w.Metric,
 		len(res.Samples), res.Dropped)
+	printPubStats()
 	closeTelemetry()
 	if interrupted {
 		fmt.Println("# interrupted: partial run, telemetry flushed")

@@ -49,10 +49,15 @@ func main() {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
+	// Subscriber-side transport accounting, printed on exit so a lossy or
+	// malformed stream is distinguishable from a quiet application.
+	var received, malformed uint64
+
 	finish := func() {
 		b := progress.Classify(mon.Rates())
 		log.Printf("stream ended: %d reports, behavior %s, %d phase changes",
 			mon.Reports(), b, len(detector.Changes()))
+		log.Printf("transport: %d messages received, %d malformed", received, malformed)
 	}
 	for {
 		select {
@@ -72,8 +77,10 @@ func main() {
 				finish()
 				return
 			}
+			received++
 			rep, err := progress.UnmarshalReport(m.Payload)
 			if err != nil {
+				malformed++
 				log.Printf("bad report: %v", err)
 				continue
 			}

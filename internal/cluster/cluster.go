@@ -28,11 +28,41 @@ import (
 // Epoch is the job manager's control period.
 const Epoch = time.Second
 
-// QuarantineCapW is the power cap held on a fenced node. It must be a
-// small *positive* value: 0 means "uncapped" in RAPL semantics, and an
-// unresponsive node left uncapped could silently burn its full TDP out
-// of the job's allocation.
-const QuarantineCapW = 40
+// DefaultQuarantineCapW is the default power cap held on a fenced node.
+// It must be a small *positive* value: 0 means "uncapped" in RAPL
+// semantics, and an unresponsive node left uncapped could silently burn
+// its full TDP out of the job's allocation.
+const DefaultQuarantineCapW = 40
+
+// Config carries the manager knobs that were previously compile-time
+// constants. The zero value is replaced by defaults in Validate.
+type Config struct {
+	// QuarantineCapW is the power cap held on a fenced node. Must be
+	// positive (0 is "uncapped" in RAPL semantics) and below the node
+	// TDP — quarantine exists to bound a silent node's draw, so a cap at
+	// or above TDP would be a no-op disguised as a safety measure.
+	QuarantineCapW float64
+}
+
+// DefaultClusterConfig returns the defaults.
+func DefaultClusterConfig() Config {
+	return Config{QuarantineCapW: DefaultQuarantineCapW}
+}
+
+// Validate fills defaults and rejects unsafe values.
+func (c *Config) Validate() error {
+	if c.QuarantineCapW == 0 {
+		c.QuarantineCapW = DefaultQuarantineCapW
+	}
+	if c.QuarantineCapW < 0 {
+		return fmt.Errorf("cluster: QuarantineCapW %.1f W must be positive (0 means uncapped in RAPL)", c.QuarantineCapW)
+	}
+	if c.QuarantineCapW >= rapl.FirmwareDefaultCapW {
+		return fmt.Errorf("cluster: QuarantineCapW %.1f W must be below the node TDP (%d W)",
+			c.QuarantineCapW, rapl.FirmwareDefaultCapW)
+	}
+	return nil
+}
 
 // NodeStatus is the per-epoch feedback a policy divides on.
 type NodeStatus struct {
@@ -278,6 +308,7 @@ type Manager struct {
 	nodes  []*Node
 	policy Policy
 	budget BudgetFunc
+	cfg    Config
 
 	// UncappedEpochs is how many initial epochs run without caps to
 	// estimate per-node baselines (default 2).
@@ -306,8 +337,16 @@ type Manager struct {
 	budgetOverride float64
 }
 
-// NewManager assembles a job manager.
+// NewManager assembles a job manager with default Config.
 func NewManager(policy Policy, budget BudgetFunc, nodes ...*Node) (*Manager, error) {
+	return NewManagerCfg(DefaultClusterConfig(), policy, budget, nodes...)
+}
+
+// NewManagerCfg assembles a job manager with an explicit Config.
+func NewManagerCfg(cfg Config, policy Policy, budget BudgetFunc, nodes ...*Node) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if policy == nil || budget == nil {
 		return nil, fmt.Errorf("cluster: nil policy or budget")
 	}
@@ -321,7 +360,7 @@ func NewManager(policy Policy, budget BudgetFunc, nodes ...*Node) (*Manager, err
 		}
 		seen[n.name] = true
 	}
-	return &Manager{nodes: nodes, policy: policy, budget: budget,
+	return &Manager{nodes: nodes, policy: policy, budget: budget, cfg: cfg,
 		UncappedEpochs: 2, FailureEpochs: 3, ProbationEpochs: 3, budgetOverride: -1}, nil
 }
 
@@ -393,7 +432,7 @@ func (m *Manager) Step() (bool, error) {
 	divisible := budgetW
 	for _, s := range statuses {
 		if s.Failed && !s.Done {
-			divisible -= QuarantineCapW
+			divisible -= m.cfg.QuarantineCapW
 		}
 	}
 	if divisible < 0 {
@@ -412,7 +451,7 @@ func (m *Manager) Step() (bool, error) {
 		clampCaps(caps, divisible)
 		for i, s := range statuses {
 			if s.Failed && !s.Done {
-				caps[i] = QuarantineCapW
+				caps[i] = m.cfg.QuarantineCapW
 			}
 		}
 	}

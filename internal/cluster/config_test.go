@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/rapl"
+)
+
+func TestConfigValidate(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if c.QuarantineCapW != DefaultQuarantineCapW {
+		t.Errorf("default not filled: %v", c.QuarantineCapW)
+	}
+
+	neg := Config{QuarantineCapW: -1}
+	if err := neg.Validate(); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Errorf("negative cap accepted: %v", err)
+	}
+	hot := Config{QuarantineCapW: rapl.FirmwareDefaultCapW}
+	if err := hot.Validate(); err == nil || !strings.Contains(err.Error(), "TDP") {
+		t.Errorf("cap at TDP accepted: %v", err)
+	}
+}
+
+func TestNewManagerCfgRejectsBadConfig(t *testing.T) {
+	n := newNode(t, "n1", apps.LAMMPS(apps.DefaultRanks, 5), 0, 1)
+	if _, err := NewManagerCfg(Config{QuarantineCapW: -5}, EqualSplit{}, ConstantBudget(100), n); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -68,7 +68,7 @@ func TestNodeCrashDetectedAndRedistributed(t *testing.T) {
 	fencedAt := time.Duration(-1)
 	for i := 0; i < crashed.CapTrace().Len(); i++ {
 		p := crashed.CapTrace().At(i)
-		if p.V == QuarantineCapW {
+		if p.V == DefaultQuarantineCapW {
 			fencedAt = p.T
 			break
 		}
@@ -92,7 +92,7 @@ func TestNodeCrashDetectedAndRedistributed(t *testing.T) {
 			if p.T <= fencedAt {
 				continue
 			}
-			want := (budget - QuarantineCapW) / 2.0
+			want := (budget - DefaultQuarantineCapW) / 2.0
 			if p.V < want-1e-9 || p.V > want+1e-9 {
 				t.Fatalf("survivor %s cap at %v = %v W, want %v W", n.Name(), p.T, p.V, want)
 			}
@@ -147,10 +147,10 @@ func TestNodeRecoveryUnfencesAfterProbation(t *testing.T) {
 	fencedAt, unfencedAt := time.Duration(-1), time.Duration(-1)
 	for i := 0; i < recovered.CapTrace().Len(); i++ {
 		p := recovered.CapTrace().At(i)
-		if fencedAt < 0 && p.V == QuarantineCapW {
+		if fencedAt < 0 && p.V == DefaultQuarantineCapW {
 			fencedAt = p.T
 		}
-		if fencedAt >= 0 && unfencedAt < 0 && p.V != QuarantineCapW {
+		if fencedAt >= 0 && unfencedAt < 0 && p.V != DefaultQuarantineCapW {
 			unfencedAt = p.T
 			if want := budget / 3.0; p.V != want {
 				t.Fatalf("un-fenced cap %v W, want the %v W equal share back", p.V, want)

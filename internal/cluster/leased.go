@@ -1,0 +1,803 @@
+package cluster
+
+// Partition-tolerant power leasing: the replicated job manager.
+//
+// The plain Manager assumes it is always up and always connected — it
+// writes caps straight into every node's MSR each epoch. This file drops
+// both assumptions. Caps become time-bounded, epoch-fenced leases
+// (internal/lease); the manager is replicated as a primary/standby pair
+// sharing state through the append-only journal (internal/journal); and
+// every node arms a RAPL deadman so an un-renewed lease reverts the
+// hardware to the quarantine-safe cap within one TTL. The resulting
+// invariant needs no consensus protocol:
+//
+//	Σ(enforced node caps) ≤ Σ(arbiter charges) ≤ job budget
+//
+// at every instant, across manager crashes, pauses, failovers, and
+// network partitions — because grants are journaled before they are
+// sent, a failover adopts every unexpired journaled grant as a charge,
+// the shared log rejects appends from deposed epochs, and each node
+// rejects grants whose (epoch, seq) is not strictly newer than anything
+// it has enforced.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"progresscap/internal/engine"
+	"progresscap/internal/fault"
+	"progresscap/internal/journal"
+	"progresscap/internal/lease"
+	"progresscap/internal/msr"
+	"progresscap/internal/pubsub"
+	"progresscap/internal/rapl"
+	"progresscap/internal/trace"
+)
+
+// Manager names of the replicated pair, usable in fault.Plan.Managers
+// and fault.Partition actor lists.
+const (
+	PrimaryManager = "m0"
+	StandbyManager = "m1"
+)
+
+// TelemetryTopicPrefix carries node → manager progress reports (the
+// telemetry lane of the manager inbox).
+const TelemetryTopicPrefix = "telemetry.progress."
+
+// AckTopicPrefix carries node → manager lease acknowledgements (the
+// control lane of the manager inbox).
+const AckTopicPrefix = "lease.ack."
+
+// errFencedAppend rejects a journal append from a deposed reign.
+var errFencedAppend = errors.New("cluster: journal append fenced (stale manager epoch)")
+
+// LeasedConfig assembles a replicated, lease-based job manager.
+type LeasedConfig struct {
+	// Cluster supplies the quarantine cap, which doubles as the lease
+	// safe cap: the power a node reverts to when its lease lapses.
+	Cluster Config
+	Policy  Policy
+	Budget  BudgetFunc
+
+	// LeaseTTL bounds how long a grant is enforceable without renewal
+	// (default 3 epochs). It is also the node deadman TTL, so the
+	// revert-to-safe-cap guarantee holds in hardware, not just in the
+	// ledger.
+	LeaseTTL time.Duration
+
+	// FailoverEpochs is how many consecutive epochs the shared journal
+	// may go without appends before the standby takes over (default 2).
+	FailoverEpochs int
+
+	// FailureEpochs / ProbationEpochs drive the manager-side telemetry
+	// watchdog, mirroring Manager's semantics (defaults 3 / 3): a node
+	// silent for FailureEpochs stops being granted leases (it decays to
+	// the safe cap on its own); it must then report for ProbationEpochs
+	// consecutive epochs to re-enter the allocation.
+	FailureEpochs   int
+	ProbationEpochs int
+
+	// TelemetryPerEpoch is how many copies of its progress report each
+	// node publishes per epoch (default 1; raise it to flood the
+	// telemetry lane).
+	TelemetryPerEpoch int
+
+	// InboxControlDepth / InboxTelemetryDepth bound the manager inbox
+	// lanes (defaults 256 / 256). Overflow sheds per lane — control
+	// never queues behind telemetry.
+	InboxControlDepth   int
+	InboxTelemetryDepth int
+
+	// Faults supplies partitions, manager kills/pauses, and node plans;
+	// nil injects nothing.
+	Faults *fault.Injector
+}
+
+func (c *LeasedConfig) validate() error {
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil || c.Budget == nil {
+		return fmt.Errorf("cluster: leased config needs a policy and a budget")
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 3 * Epoch
+	}
+	if c.LeaseTTL < Epoch {
+		return fmt.Errorf("cluster: lease TTL %v below the %v control epoch cannot be renewed in time", c.LeaseTTL, Epoch)
+	}
+	if c.FailoverEpochs == 0 {
+		c.FailoverEpochs = 2
+	}
+	if c.FailureEpochs == 0 {
+		c.FailureEpochs = 3
+	}
+	if c.ProbationEpochs == 0 {
+		c.ProbationEpochs = 3
+	}
+	if c.TelemetryPerEpoch == 0 {
+		c.TelemetryPerEpoch = 1
+	}
+	if c.InboxControlDepth == 0 {
+		c.InboxControlDepth = 256
+	}
+	if c.InboxTelemetryDepth == 0 {
+		c.InboxTelemetryDepth = 256
+	}
+	if c.Faults == nil {
+		c.Faults = fault.NewInjector(fault.Plan{})
+	}
+	return nil
+}
+
+// sharedLog is the journal both managers replicate through: an in-memory
+// WAL with a fencing gate. Appends must carry the highest epoch the log
+// has seen — a deposed primary's appends fail, which is how it learns it
+// was deposed even before reading the log back.
+type sharedLog struct {
+	buf      bytes.Buffer
+	w        *journal.Writer
+	maxEpoch uint64
+	appends  int
+}
+
+func newSharedLog() *sharedLog {
+	l := &sharedLog{}
+	l.w = journal.NewWriter(&l.buf)
+	return l
+}
+
+func (l *sharedLog) Append(epoch uint64, rec journal.Record) error {
+	if epoch < l.maxEpoch {
+		return errFencedAppend
+	}
+	if err := l.w.Append(rec); err != nil {
+		return err
+	}
+	l.maxEpoch = epoch
+	l.appends++
+	return nil
+}
+
+func (l *sharedLog) Appends() int     { return l.appends }
+func (l *sharedLog) MaxEpoch() uint64 { return l.maxEpoch }
+
+func (l *sharedLog) Replay() ([]journal.Record, error) {
+	recs, st, err := journal.ReplayBytes(l.buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if st.DamagedTail {
+		return nil, fmt.Errorf("cluster: shared journal damaged: %s", st.TailError)
+	}
+	return recs, nil
+}
+
+// LeasedNode is one compute node under the replicated manager. Its cap
+// is owned by a lease.Holder; actuation re-arms the RAPL deadman, so a
+// node no manager can reach provably reverts to the safe cap.
+type LeasedNode struct {
+	name     string
+	eng      *engine.Engine
+	holder   *lease.Holder
+	lastPow  float64
+	capTrace *trace.Series
+	result   *engine.Result
+}
+
+// NewLeasedNode wraps an engine. The engine must not run its own policy
+// daemon; the lease holder owns the node's power limit.
+func NewLeasedNode(name string, eng *engine.Engine) *LeasedNode {
+	n := &LeasedNode{
+		name:     name,
+		eng:      eng,
+		capTrace: trace.NewSeries("cluster.lease.cap."+name, "W"),
+	}
+	eng.SetWindowHook(func(ws engine.WindowStats) { n.lastPow = ws.PkgW })
+	return n
+}
+
+// Name returns the node's name.
+func (n *LeasedNode) Name() string { return n.name }
+
+// CapTrace returns the caps actually applied on this node.
+func (n *LeasedNode) CapTrace() *trace.Series { return n.capTrace }
+
+// Result returns the node's engine result (after Finish).
+func (n *LeasedNode) Result() *engine.Result { return n.result }
+
+// Holder returns the node's lease state machine.
+func (n *LeasedNode) Holder() *lease.Holder { return n.holder }
+
+// observedRate mirrors Manager.refresh's two-window smoothing.
+func (n *LeasedNode) observedRate() float64 {
+	samples := n.eng.Monitor().Samples()
+	if len(samples) == 0 {
+		return 0
+	}
+	rate := samples[len(samples)-1].Rate
+	if len(samples) >= 2 {
+		rate = (rate + samples[len(samples)-2].Rate) / 2
+	}
+	return rate
+}
+
+// registerCapW decodes the node's currently latched PL1 (0 = disabled).
+func registerCapW(dev *msr.Device) (float64, error) {
+	raw, err := dev.Read(msr.PkgPowerLimit)
+	if err != nil {
+		return 0, err
+	}
+	unitRaw, err := dev.Read(msr.RaplPowerUnit)
+	if err != nil {
+		return 0, err
+	}
+	pl1, _ := msr.DecodePowerLimits(raw, msr.DecodeUnits(unitRaw))
+	if !pl1.Enabled {
+		return 0, nil
+	}
+	return pl1.Watts, nil
+}
+
+// leasedManager is one replica of the job manager.
+type leasedManager struct {
+	name    string
+	primary bool
+	epoch   uint64 // fencing epoch of this replica's current reign
+	arb     *lease.Arbiter
+	inbox   *pubsub.LanedQueue
+
+	// Failover detection (standby): epochs the shared log stayed still.
+	lastAppends int
+	staleEpochs int
+
+	// Pending grants journaled but not yet sent — a pause tore the epoch
+	// between WAL append and delivery; flushed (stale) on resume.
+	pending []lease.Lease
+
+	// Telemetry watchdog and policy feedback, keyed by node name.
+	heard    map[string]bool
+	done     map[string]bool
+	rate     map[string]float64
+	baseline map[string]float64
+	silent   map[string]int
+	fresh    map[string]int
+	fenced   map[string]bool
+
+	acks uint64
+}
+
+func newLeasedManager(name string, cfg *LeasedConfig) *leasedManager {
+	return &leasedManager{
+		name:     name,
+		inbox:    pubsub.NewLanedQueue(cfg.InboxControlDepth, cfg.InboxTelemetryDepth),
+		heard:    map[string]bool{},
+		done:     map[string]bool{},
+		rate:     map[string]float64{},
+		baseline: map[string]float64{},
+		silent:   map[string]int{},
+		fresh:    map[string]int{},
+		fenced:   map[string]bool{},
+	}
+}
+
+// LeasedResult is the job-level outcome plus the distributed-safety
+// counters the partition experiments assert on.
+type LeasedResult struct {
+	Elapsed      time.Duration
+	Completed    bool
+	TotalEnergyJ float64
+	WorkUnits    float64
+
+	MinProgress  *trace.Series
+	MeanProgress *trace.Series
+	BudgetTrace  *trace.Series
+	// EnforcedTrace is Σ(latched register caps) over the nodes actually
+	// running each epoch — the physically enforceable draw bound.
+	EnforcedTrace *trace.Series
+	// PeakOvershootW is the worst EnforcedTrace excursion above the
+	// budget (0 when the safety invariant held everywhere, which it must).
+	PeakOvershootW float64
+
+	Failovers         int    // standby takeovers
+	GrantsIssued      uint64 // leases journaled and charged
+	FencedGrants      uint64 // grants a node rejected as stale (split-brain blocked)
+	ExpiredOnArrival  uint64 // grants delivered after their own TTL
+	UndeliveredGrants uint64 // grants eaten by a partition
+	ExpiredReverts    uint64 // node deadman trips (revert to safe cap)
+
+	Nodes []*LeasedNode
+}
+
+// LeasedCluster drives a node set under the replicated leasing manager.
+type LeasedCluster struct {
+	cfg      LeasedConfig
+	nodes    []*LeasedNode
+	byName   map[string]*LeasedNode
+	managers []*leasedManager
+	log      *sharedLog
+
+	elapsed  time.Duration
+	res      *LeasedResult
+	finished bool
+}
+
+// NewLeasedCluster assembles the replicated manager pair over the nodes.
+// Every node is booted at the safe cap with an armed deadman before the
+// first epoch, so the cluster is never uncapped: overshoot is zero by
+// construction, not by luck.
+func NewLeasedCluster(cfg LeasedConfig, nodes ...*LeasedNode) (*LeasedCluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	lc := &LeasedCluster{cfg: cfg, nodes: nodes, byName: map[string]*LeasedNode{}, log: newSharedLog()}
+	safeCap := cfg.Cluster.QuarantineCapW
+	names := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if lc.byName[n.name] != nil || n.name == "" {
+			return nil, fmt.Errorf("cluster: empty or duplicate node name %q", n.name)
+		}
+		lc.byName[n.name] = n
+		names = append(names, n.name)
+
+		node := n
+		h, err := lease.NewHolder(n.name, safeCap, func(capW float64) error {
+			return rapl.WriteLimitRetry(node.eng.Device(), capW, 10*time.Millisecond)
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.holder = h
+		if err := n.eng.SetDeadman(rapl.Deadman{TTL: cfg.LeaseTTL, DefaultCapW: safeCap}); err != nil {
+			return nil, err
+		}
+		// Boot cap: the node starts at the safe cap, never uncapped.
+		if err := rapl.WriteLimitRetry(n.eng.Device(), safeCap, 10*time.Millisecond); err != nil {
+			return nil, fmt.Errorf("cluster: boot cap on %s: %w", n.name, err)
+		}
+	}
+	m0 := newLeasedManager(PrimaryManager, &cfg)
+	m1 := newLeasedManager(StandbyManager, &cfg)
+	m0.primary = true
+	m0.epoch = 1
+	arb, err := lease.NewArbiter(cfg.Budget(0), safeCap, m0.epoch, names...)
+	if err != nil {
+		return nil, err
+	}
+	m0.arb = arb
+	lc.managers = []*leasedManager{m0, m1}
+	return lc, nil
+}
+
+func (lc *LeasedCluster) ensureResult() {
+	if lc.res == nil {
+		lc.res = &LeasedResult{
+			MinProgress:   trace.NewSeries("cluster.lease.progress.min", "normalized"),
+			MeanProgress:  trace.NewSeries("cluster.lease.progress.mean", "normalized"),
+			BudgetTrace:   trace.NewSeries("cluster.lease.budget", "W"),
+			EnforcedTrace: trace.NewSeries("cluster.lease.enforced", "W"),
+			Nodes:         lc.nodes,
+		}
+	}
+}
+
+// Done reports whether every node's workload has completed.
+func (lc *LeasedCluster) Done() bool {
+	for _, n := range lc.nodes {
+		if !n.eng.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// ManagerInboxStats returns one manager's per-lane inbox counters.
+func (lc *LeasedCluster) ManagerInboxStats(name string) (control, telemetry pubsub.LaneStats, ok bool) {
+	for _, m := range lc.managers {
+		if m.name == name {
+			c, t := m.inbox.Stats()
+			return c, t, true
+		}
+	}
+	return pubsub.LaneStats{}, pubsub.LaneStats{}, false
+}
+
+// EnforcedCapW sums the latched register caps of the nodes currently
+// running (crashed and finished nodes draw no package power). This is
+// the left side of the safety invariant the property test checks
+// against the budget.
+func (lc *LeasedCluster) EnforcedCapW(now time.Duration) (float64, error) {
+	var sum float64
+	for _, n := range lc.nodes {
+		if n.eng.Done() {
+			continue
+		}
+		if np := lc.cfg.Faults.Node(n.name); np != nil && np.Crashed(now) {
+			continue
+		}
+		capW, err := registerCapW(n.eng.Device())
+		if err != nil {
+			return 0, err
+		}
+		if capW == 0 {
+			// An uncapped register would make the invariant vacuous; it
+			// must never happen after the boot cap.
+			return 0, fmt.Errorf("cluster: node %s register uncapped", n.name)
+		}
+		sum += capW
+	}
+	return sum, nil
+}
+
+// Step advances the cluster one epoch: managers act on last epoch's
+// telemetry, nodes advance and report, metrics are collected. It reports
+// whether the job is done.
+func (lc *LeasedCluster) Step() (bool, error) {
+	if lc.finished {
+		return true, fmt.Errorf("cluster: Step after Finish")
+	}
+	lc.ensureResult()
+	now := lc.elapsed
+	budgetW := lc.cfg.Budget(now)
+	lc.res.BudgetTrace.Add(now, budgetW)
+
+	// 1. Manager phase. Fixed replica order keeps runs deterministic.
+	for _, m := range lc.managers {
+		fm := lc.cfg.Faults.Manager(m.name)
+		if fm != nil && (fm.Dead(now) || fm.Paused(now)) {
+			continue
+		}
+		// A replica resuming with an undelivered batch flushes it first —
+		// the journaled-but-unsent grants a paused primary still believes
+		// it owes its nodes. This is the stale-delivery hazard; node-side
+		// fencing is what contains it.
+		if len(m.pending) > 0 {
+			lc.deliver(m, m.pending, now)
+			m.pending = nil
+		}
+		// A primary that sees a higher epoch in the shared log was deposed
+		// while it was away; it demotes without granting.
+		if m.primary && lc.log.MaxEpoch() > m.epoch {
+			m.primary = false
+			m.arb = nil
+		}
+		if m.primary {
+			lc.drainInbox(m, now)
+			lc.watchdog(m)
+			if err := lc.grantCycle(m, budgetW, now); err != nil {
+				return false, err
+			}
+		} else {
+			lc.standbyWatch(m, budgetW, now)
+		}
+		m.lastAppends = lc.log.Appends()
+	}
+
+	// 2. Node phase: advance engines under node fault plans.
+	for _, n := range lc.nodes {
+		if n.eng.Done() {
+			continue
+		}
+		if np := lc.cfg.Faults.Node(n.name); np != nil {
+			if np.Crashed(now) {
+				continue
+			}
+			if frac := np.FreqCeilingFrac(now); frac < 1 {
+				n.eng.SetFreqCeiling(frac * n.eng.MaxFreqMHz())
+			}
+		}
+		if _, err := n.eng.Advance(Epoch); err != nil {
+			return false, fmt.Errorf("cluster: advancing %s: %w", n.name, err)
+		}
+	}
+	lc.elapsed += Epoch
+	end := lc.elapsed
+
+	// 3. Telemetry phase: running nodes report progress to both replicas,
+	// subject to the partition schedule. Crashed nodes are silent — that
+	// silence is the watchdog's signal.
+	links := lc.cfg.Faults.Links()
+	for _, n := range lc.nodes {
+		if np := lc.cfg.Faults.Node(n.name); np != nil && np.Crashed(end) {
+			continue
+		}
+		done := byte('0')
+		if n.eng.Done() {
+			done = '1'
+		}
+		payload := []byte(fmt.Sprintf("%.9g %c", n.observedRate(), done))
+		msg := pubsub.Message{Topic: TelemetryTopicPrefix + n.name, Payload: payload}
+		for _, m := range lc.managers {
+			if links.Cut(n.name, m.name, end) {
+				continue
+			}
+			for i := 0; i < lc.cfg.TelemetryPerEpoch; i++ {
+				m.inbox.Push(msg, end)
+			}
+		}
+		n.capTrace.Add(end, n.holder.CapAt(end))
+	}
+
+	// 4. Safety and progress metrics — the experimenter's view, read from
+	// the hardware registers, not the ledger.
+	enforced, err := lc.EnforcedCapW(end)
+	if err != nil {
+		return false, err
+	}
+	lc.res.EnforcedTrace.Add(end, enforced)
+	if over := enforced - budgetW; over > lc.res.PeakOvershootW {
+		lc.res.PeakOvershootW = over
+	}
+	min, mean, alive := 1.0, 0.0, 0
+	for _, n := range lc.nodes {
+		if n.eng.Done() {
+			continue
+		}
+		if np := lc.cfg.Faults.Node(n.name); np != nil && np.Crashed(end) {
+			continue
+		}
+		alive++
+		rate := n.observedRate()
+		base := rate
+		for _, m := range lc.managers {
+			if b := m.baseline[n.name]; b > base {
+				base = b
+			}
+		}
+		norm := NodeStatus{Rate: rate, Baseline: base}.Normalized()
+		if norm < min {
+			min = norm
+		}
+		mean += norm
+	}
+	if alive > 0 {
+		lc.res.MinProgress.Add(end, min)
+		lc.res.MeanProgress.Add(end, mean/float64(alive))
+	}
+	return lc.Done(), nil
+}
+
+// grantCycle is one primary epoch: divide the budget, journal each
+// grant (write-ahead), then deliver. The caller has already drained the
+// inbox and run the watchdog for this epoch.
+func (lc *LeasedCluster) grantCycle(m *leasedManager, budgetW float64, now time.Duration) error {
+	safeCap := lc.cfg.Cluster.QuarantineCapW
+	m.arb.SetBudget(budgetW)
+
+	// The safe-cap floor of every node is reserved up front (the
+	// quarantine slack); the policy divides only the remainder, and each
+	// node's lease request is floor + share.
+	divisible := budgetW - safeCap*float64(len(lc.nodes))
+	if divisible < 0 {
+		divisible = 0
+	}
+	statuses := make([]NodeStatus, len(lc.nodes))
+	for i, n := range lc.nodes {
+		statuses[i] = NodeStatus{
+			Name:     n.name,
+			Rate:     m.rate[n.name],
+			Baseline: m.baseline[n.name],
+			Done:     m.done[n.name],
+			Failed:   m.fenced[n.name],
+		}
+	}
+	shares := lc.cfg.Policy.Divide(divisible, statuses)
+	if len(shares) != len(lc.nodes) {
+		return fmt.Errorf("cluster: policy %s returned %d caps for %d nodes",
+			lc.cfg.Policy.Name(), len(shares), len(lc.nodes))
+	}
+	clampCaps(shares, divisible)
+
+	var grants []lease.Lease
+	for i, s := range statuses {
+		if s.Done || s.Failed {
+			continue // no renewal: the node decays to the safe cap
+		}
+		l, ok := m.arb.Grant(s.Name, safeCap+shares[i], lc.cfg.LeaseTTL, now)
+		if !ok {
+			continue
+		}
+		if err := lc.log.Append(m.epoch, l.Record(now)); err != nil {
+			if errors.Is(err, errFencedAppend) {
+				m.primary = false // deposed mid-cycle; the grant dies unjournaled and unsent
+				m.arb = nil
+				return nil
+			}
+			return err
+		}
+		lc.res.GrantsIssued++
+		grants = append(grants, l)
+	}
+	if len(grants) == 0 {
+		// Idle heartbeat so the standby can tell "nothing to grant" from
+		// "primary dead".
+		err := lc.log.Append(m.epoch, journal.Record{Kind: journal.KindHeartbeat, At: now, LeaseEpoch: m.epoch})
+		if errors.Is(err, errFencedAppend) {
+			m.primary = false
+			m.arb = nil
+			return nil
+		}
+		return err
+	}
+	if fm := lc.cfg.Faults.Manager(m.name); fm != nil && fm.TearsSend(now, Epoch) {
+		// The pause lands between WAL append and send: the batch stays
+		// pending, already charged in the journal, flushed stale on resume.
+		m.pending = append(m.pending, grants...)
+		return nil
+	}
+	lc.deliver(m, grants, now)
+	return nil
+}
+
+// deliver offers grants to their nodes across the (possibly partitioned)
+// network and collects the fencing verdicts.
+func (lc *LeasedCluster) deliver(m *leasedManager, grants []lease.Lease, now time.Duration) {
+	links := lc.cfg.Faults.Links()
+	for _, g := range grants {
+		n := lc.byName[g.Node]
+		if n == nil {
+			continue
+		}
+		if links.Cut(m.name, g.Node, now) {
+			lc.res.UndeliveredGrants++
+			continue
+		}
+		err := n.holder.Offer(g, now)
+		switch {
+		case err == nil:
+			if !links.Cut(g.Node, m.name, now) {
+				m.inbox.Push(pubsub.Message{Topic: AckTopicPrefix + g.Node}, now)
+			}
+		case errors.Is(err, lease.ErrFenced):
+			lc.res.FencedGrants++
+		case errors.Is(err, lease.ErrExpired):
+			lc.res.ExpiredOnArrival++
+		}
+	}
+}
+
+// drainInbox consumes everything queued since the replica last looked,
+// control lane first.
+func (lc *LeasedCluster) drainInbox(m *leasedManager, now time.Duration) {
+	for n := range m.heard {
+		delete(m.heard, n)
+	}
+	for {
+		msg, lane, ok := m.inbox.Pop(now)
+		if !ok {
+			return
+		}
+		if lane == pubsub.LaneControl {
+			m.acks++
+			continue
+		}
+		node := msg.Topic[len(TelemetryTopicPrefix):]
+		var rate float64
+		var done byte
+		if _, err := fmt.Sscanf(string(msg.Payload), "%g %c", &rate, &done); err != nil {
+			continue
+		}
+		m.heard[node] = true
+		m.done[node] = done == '1'
+		m.rate[node] = rate
+		if rate > m.baseline[node] {
+			m.baseline[node] = rate
+		}
+	}
+}
+
+// watchdog mirrors Manager's fencing/probation semantics over the
+// telemetry stream: silence fences, sustained reporting un-fences.
+func (lc *LeasedCluster) watchdog(m *leasedManager) {
+	for _, n := range lc.nodes {
+		name := n.name
+		if m.done[name] {
+			m.fenced[name] = false
+			m.silent[name], m.fresh[name] = 0, 0
+			continue
+		}
+		if m.heard[name] {
+			m.silent[name] = 0
+			m.fresh[name]++
+		} else {
+			m.silent[name]++
+			m.fresh[name] = 0
+		}
+		if !m.fenced[name] && m.silent[name] >= lc.cfg.FailureEpochs {
+			m.fenced[name] = true
+		}
+		if m.fenced[name] && m.fresh[name] >= lc.cfg.ProbationEpochs {
+			m.fenced[name] = false
+		}
+	}
+}
+
+// standbyWatch is one standby epoch: drain the inbox (keeping telemetry
+// state warm) and take over when the shared journal has gone still for
+// FailoverEpochs.
+func (lc *LeasedCluster) standbyWatch(m *leasedManager, budgetW float64, now time.Duration) {
+	lc.drainInbox(m, now)
+	lc.watchdog(m)
+	if lc.log.Appends() != m.lastAppends {
+		m.staleEpochs = 0
+		return
+	}
+	m.staleEpochs++
+	if m.staleEpochs < lc.cfg.FailoverEpochs {
+		return
+	}
+	// Failover: replay the WAL, adopt every unexpired grant as a charge
+	// (whoever issued it), claim the next fencing epoch, and stamp the
+	// log with it before granting anything.
+	recs, err := lc.log.Replay()
+	if err != nil {
+		return // unreadable log: stay standby, the deadmen keep the nodes safe
+	}
+	grants, maxEpoch, maxSeq := lease.FromRecords(recs)
+	names := make([]string, len(lc.nodes))
+	for i, n := range lc.nodes {
+		names[i] = n.name
+	}
+	arb, err := lease.NewArbiter(budgetW, lc.cfg.Cluster.QuarantineCapW, maxEpoch+1, names...)
+	if err != nil {
+		return
+	}
+	arb.Adopt(grants, maxEpoch, maxSeq, now)
+	m.arb = arb
+	m.epoch = arb.Epoch()
+	if err := lc.log.Append(m.epoch, journal.Record{Kind: journal.KindEpochChange, At: now, LeaseEpoch: m.epoch}); err != nil {
+		return
+	}
+	m.primary = true
+	m.staleEpochs = 0
+	lc.res.Failovers++
+	// Grant immediately: the takeover epoch should also be the first
+	// renewal epoch, shrinking the window in which leases lapse.
+	_ = lc.grantCycle(m, budgetW, now)
+}
+
+// Finish finalizes every node engine and returns the job result.
+func (lc *LeasedCluster) Finish() (*LeasedResult, error) {
+	if lc.finished {
+		return nil, fmt.Errorf("cluster: Finish called twice")
+	}
+	lc.finished = true
+	lc.ensureResult()
+	res := lc.res
+	res.Elapsed = lc.elapsed
+	res.Completed = true
+	for _, n := range lc.nodes {
+		res.ExpiredReverts += n.eng.Controller().DeadmanTrips()
+		r, err := n.eng.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: finishing %s: %w", n.name, err)
+		}
+		n.result = r
+		res.TotalEnergyJ += r.EnergyJ
+		res.WorkUnits += r.WorkUnits
+		if !r.Completed {
+			res.Completed = false
+		}
+	}
+	return res, nil
+}
+
+// Run advances the job until completion or maxDur of virtual time.
+func (lc *LeasedCluster) Run(maxDur time.Duration) (*LeasedResult, error) {
+	for lc.elapsed < maxDur {
+		done, err := lc.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	return lc.Finish()
+}

@@ -174,7 +174,7 @@ func ExtFaults(opts Options) (*Artifact, error) {
 			fmt.Sprintf("at a 20%% report-drop rate the true progress rate moved %.1f%% (acceptance: <= 10%%);", errAt20),
 			fmt.Sprintf("peak window power while blind during the blackout: %.1f W against a %.0f W budget;", blackoutPeak, float64(budgetW)),
 			fmt.Sprintf("crashed node fenced at the %.0f W quarantine cap, survivors raised to %.0f W each.",
-				float64(cluster.QuarantineCapW), (jobBudgetW-cluster.QuarantineCapW)/2.0),
+				float64(cluster.DefaultQuarantineCapW), (jobBudgetW-cluster.DefaultQuarantineCapW)/2.0),
 		},
 	}, nil
 }

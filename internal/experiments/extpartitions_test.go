@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPartitionSuite(t *testing.T) {
+	skipIfRace(t)
+	rep, err := RunPartitionSuite(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(rep.Scenarios))
+	}
+
+	// Budget overshoot must be exactly zero everywhere: the lease design
+	// makes it structural, not statistical.
+	for _, s := range rep.Scenarios {
+		if s.PeakOvershootW > 0 {
+			t.Errorf("%s: peak overshoot %.3f W, want 0", s.Name, s.PeakOvershootW)
+		}
+		if s.GrantsIssued == 0 {
+			t.Errorf("%s: no grants issued", s.Name)
+		}
+	}
+
+	base := rep.Scenario("baseline")
+	if base == nil || base.Failovers != 0 || base.ExpiredReverts != 0 {
+		t.Fatalf("baseline not clean: %+v", base)
+	}
+
+	kill := rep.Scenario("manager-kill")
+	if kill.Failovers != 1 {
+		t.Errorf("manager-kill failovers = %d, want 1", kill.Failovers)
+	}
+	if kill.RetentionPct < 90 {
+		t.Errorf("manager-kill retained only %.1f%% of baseline work", kill.RetentionPct)
+	}
+
+	sym := rep.Scenario("sym-partition")
+	if sym.ExpiredReverts == 0 {
+		t.Error("sym-partition: partitioned node never reverted via deadman")
+	}
+	if sym.UndeliveredGrants == 0 {
+		t.Error("sym-partition: partition ate no grants")
+	}
+
+	deposed := rep.Scenario("deposed-primary")
+	if deposed.Failovers != 1 {
+		t.Errorf("deposed-primary failovers = %d, want 1", deposed.Failovers)
+	}
+	if deposed.FencedGrants == 0 {
+		t.Error("deposed-primary: stale flush was never fenced")
+	}
+
+	// Every fault scenario still makes progress: the safe-cap floor keeps
+	// work flowing even while degraded.
+	for _, s := range rep.Scenarios {
+		if s.RetentionPct < 50 {
+			t.Errorf("%s retained only %.1f%% of baseline work", s.Name, s.RetentionPct)
+		}
+	}
+}
+
+func TestExtPartitionsArtifact(t *testing.T) {
+	skipIfRace(t)
+	art, err := ExtPartitions(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.ID != "ext-partitions" {
+		t.Fatalf("artifact ID %q", art.ID)
+	}
+	out := art.Render()
+	for _, want := range []string{"baseline", "manager-kill", "sym-partition", "asym-partition", "deposed-primary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered artifact missing scenario %q", want)
+		}
+	}
+	// The acceptance bar: overshoot renders as 0.0 for every leased row.
+	if strings.Count(out, " 0.0 ")+strings.Count(out, "| 0.0") == 0 {
+		t.Error("rendered artifact shows no 0.0 overshoot column")
+	}
+}

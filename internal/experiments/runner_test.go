@@ -168,6 +168,13 @@ func TestAllParallelDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("All(parallel=%d): %v", parallel, err)
 		}
+		// ext-partitions is not part of All() but carries the same
+		// determinism bar: identical renders at any parallelism.
+		part, err := ExtPartitions(opts)
+		if err != nil {
+			t.Fatalf("ExtPartitions(parallel=%d): %v", parallel, err)
+		}
+		arts = append(arts, part)
 		out := make([]string, len(arts))
 		for i, a := range arts {
 			out[i] = a.Render()

@@ -142,6 +142,13 @@ type Plan struct {
 	Counters CounterPlan
 	// Nodes maps cluster node names to their fault plans.
 	Nodes map[string]NodePlan
+	// Partitions cut links between named actors (nodes and managers)
+	// for windows of virtual time, consumed by the leased cluster's
+	// message plane.
+	Partitions []Partition
+	// Managers maps job-manager names to their process fault plans
+	// (kill, pause/resume), consumed by the replicated manager.
+	Managers map[string]ManagerPlan
 }
 
 // Injector instantiates a Plan's per-class fault generators.
@@ -151,6 +158,8 @@ type Injector struct {
 	msr      *MSR
 	counters *Counters
 	nodes    map[string]*Node
+	links    *Links
+	managers map[string]*Manager
 }
 
 // NewInjector returns an injector for the plan.
@@ -165,9 +174,14 @@ func NewInjector(plan Plan) *Injector {
 		msr:      newMSR(plan.MSR, root.Split(2)),
 		counters: newCounters(plan.Counters, root.Split(3)),
 		nodes:    make(map[string]*Node, len(plan.Nodes)),
+		links:    newLinks(plan.Partitions),
+		managers: make(map[string]*Manager, len(plan.Managers)),
 	}
 	for name, np := range plan.Nodes {
 		inj.nodes[name] = &Node{plan: np}
+	}
+	for name, mp := range plan.Managers {
+		inj.managers[name] = &Manager{plan: mp}
 	}
 	return inj
 }
@@ -187,3 +201,10 @@ func (i *Injector) Counters() *Counters { return i.counters }
 // Node returns the named node's fault generator, or nil when the plan
 // has none for it.
 func (i *Injector) Node(name string) *Node { return i.nodes[name] }
+
+// Links returns the partition-schedule reachability oracle.
+func (i *Injector) Links() *Links { return i.links }
+
+// Manager returns the named job manager's fault generator, or nil when
+// the plan has none for it.
+func (i *Injector) Manager(name string) *Manager { return i.managers[name] }

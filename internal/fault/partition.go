@@ -1,0 +1,107 @@
+package fault
+
+import "time"
+
+// Partition cuts the links between two groups of actors (node and
+// manager names) for a window of virtual time. Symmetric partitions cut
+// both directions; an asymmetric one cuts only A→B — the classic
+// half-open failure where a manager can still push grants at a node
+// whose telemetry never makes it back (or vice versa).
+type Partition struct {
+	Window
+	// A and B are the two sides, by actor name.
+	A, B []string
+	// Asymmetric, when true, cuts only messages from A to B.
+	Asymmetric bool
+}
+
+func member(names []string, who string) bool {
+	for _, n := range names {
+		if n == who {
+			return true
+		}
+	}
+	return false
+}
+
+// Links answers per-message reachability queries against the plan's
+// partition schedule. It is pure virtual-time lookup — no RNG — so a
+// partition plan never perturbs any other fault class's decisions.
+type Links struct {
+	parts []Partition
+
+	cut uint64
+}
+
+func newLinks(parts []Partition) *Links {
+	return &Links{parts: append([]Partition(nil), parts...)}
+}
+
+// Cut reports whether a message from one actor to another is lost at
+// virtual time now, and counts the losses it rules.
+func (l *Links) Cut(from, to string, now time.Duration) bool {
+	for _, p := range l.parts {
+		if !p.Contains(now) {
+			continue
+		}
+		if member(p.A, from) && member(p.B, to) {
+			l.cut++
+			return true
+		}
+		if !p.Asymmetric && member(p.B, from) && member(p.A, to) {
+			l.cut++
+			return true
+		}
+	}
+	return false
+}
+
+// CutCount returns how many messages the partition schedule has eaten.
+func (l *Links) CutCount() uint64 { return l.cut }
+
+// Enabled reports whether any partition is scheduled.
+func (l *Links) Enabled() bool { return len(l.parts) > 0 }
+
+// ManagerPlan injects job-manager process faults, consumed by the
+// replicated (leased) cluster manager.
+type ManagerPlan struct {
+	// KillAt, when positive, kills the manager process for good at that
+	// virtual time: no journal appends, no grants, no recovery.
+	KillAt time.Duration
+	// PauseAt/ResumeAt freeze the manager (GC stall, SIGSTOP, VM
+	// migration) without killing it. A paused primary stops heartbeating
+	// — the standby takes over — and on resume it still believes it is
+	// primary: it flushes any grants it had journaled but not yet sent,
+	// which is exactly the stale-delivery hazard epoch fencing exists to
+	// stop. Zero ResumeAt means the pause never ends.
+	PauseAt  time.Duration
+	ResumeAt time.Duration
+}
+
+// Enabled reports whether the plan can perturb anything.
+func (p ManagerPlan) Enabled() bool { return p.KillAt > 0 || p.PauseAt > 0 }
+
+// Manager answers manager-process fault queries.
+type Manager struct {
+	plan ManagerPlan
+}
+
+// Dead reports whether the manager is permanently dead at now.
+func (m *Manager) Dead(now time.Duration) bool {
+	return m.plan.KillAt > 0 && now >= m.plan.KillAt
+}
+
+// Paused reports whether the manager is frozen at now.
+func (m *Manager) Paused(now time.Duration) bool {
+	if m.plan.PauseAt <= 0 || now < m.plan.PauseAt {
+		return false
+	}
+	return m.plan.ResumeAt <= 0 || now < m.plan.ResumeAt
+}
+
+// TearsSend reports whether the pause lands inside the epoch starting at
+// now — after the manager journaled its grant batch but before it sent
+// it. The batch stays pending and is flushed, stale, on resume.
+func (m *Manager) TearsSend(epochStart, epochLen time.Duration) bool {
+	return m.plan.PauseAt > epochStart && m.plan.PauseAt <= epochStart+epochLen
+}

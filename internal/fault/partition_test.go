@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"progresscap/internal/pubsub"
+)
+
+func TestLinksSymmetricPartition(t *testing.T) {
+	inj := NewInjector(Plan{Partitions: []Partition{{
+		Window: Window{From: 5 * time.Second, To: 10 * time.Second},
+		A:      []string{"m0", "m1"},
+		B:      []string{"n1"},
+	}}})
+	l := inj.Links()
+	if !l.Enabled() {
+		t.Fatal("partitioned plan reports disabled")
+	}
+	if l.Cut("m0", "n1", 4*time.Second) {
+		t.Error("cut before window")
+	}
+	if !l.Cut("m0", "n1", 5*time.Second) || !l.Cut("n1", "m1", 7*time.Second) {
+		t.Error("symmetric window should cut both directions")
+	}
+	if l.Cut("m0", "n0", 7*time.Second) {
+		t.Error("uninvolved node cut")
+	}
+	if l.Cut("m0", "n1", 10*time.Second) {
+		t.Error("cut at (half-open) window end")
+	}
+	if got := l.CutCount(); got != 2 {
+		t.Errorf("CutCount = %d, want 2", got)
+	}
+}
+
+func TestLinksAsymmetricPartition(t *testing.T) {
+	inj := NewInjector(Plan{Partitions: []Partition{{
+		Window:     Window{From: 0, To: time.Minute},
+		A:          []string{"n1"},
+		B:          []string{"m0"},
+		Asymmetric: true,
+	}}})
+	l := inj.Links()
+	if !l.Cut("n1", "m0", time.Second) {
+		t.Error("A→B should be cut")
+	}
+	if l.Cut("m0", "n1", time.Second) {
+		t.Error("B→A should flow in an asymmetric partition")
+	}
+}
+
+func TestManagerFaults(t *testing.T) {
+	inj := NewInjector(Plan{Managers: map[string]ManagerPlan{
+		"m0": {KillAt: 8 * time.Second},
+		"m1": {PauseAt: 5 * time.Second, ResumeAt: 12 * time.Second},
+	}})
+	m0, m1 := inj.Manager("m0"), inj.Manager("m1")
+	if inj.Manager("m9") != nil {
+		t.Error("unknown manager should be nil")
+	}
+	if m0.Dead(7*time.Second) || !m0.Dead(8*time.Second) {
+		t.Error("kill boundary wrong")
+	}
+	if m1.Paused(4*time.Second) || !m1.Paused(5*time.Second) || m1.Paused(12*time.Second) {
+		t.Error("pause window wrong")
+	}
+	// Pause at 5 s tears the send of the epoch starting at 4 s.
+	if !m1.TearsSend(4*time.Second, time.Second) || m1.TearsSend(5*time.Second, time.Second) {
+		t.Error("TearsSend boundary wrong")
+	}
+	// A permanent pause (ResumeAt 0) never lifts.
+	perm := Manager{plan: ManagerPlan{PauseAt: time.Second}}
+	if !perm.Paused(time.Hour) {
+		t.Error("permanent pause lifted")
+	}
+}
+
+func TestPartitionPlanDoesNotShiftOtherStreams(t *testing.T) {
+	// Adding a partition schedule must not consume RNG draws: the pubsub
+	// stream's decisions stay identical (Links is pure lookup).
+	base := NewInjector(Plan{Seed: 7, PubSub: PubSubPlan{DropRate: 0.5}})
+	part := NewInjector(Plan{Seed: 7, PubSub: PubSubPlan{DropRate: 0.5},
+		Partitions: []Partition{{Window: Window{To: time.Hour}, A: []string{"a"}, B: []string{"b"}}}})
+	part.Links().Cut("a", "b", time.Second)
+	msg := pubsub.Message{Topic: "progress.x", Payload: []byte("1")}
+	for i := 0; i < 64; i++ {
+		now := time.Duration(i) * time.Millisecond
+		a := base.PubSub().Intercept(now, msg)
+		b := part.PubSub().Intercept(now, msg)
+		if len(a) != len(b) {
+			t.Fatalf("pubsub drop decision %d diverged once partitions were scheduled", i)
+		}
+	}
+}

@@ -64,6 +64,21 @@ const (
 	// KindTrustTransition logs one degraded-signal state machine edge,
 	// including the backoff it left behind.
 	KindTrustTransition
+	// KindLeaseGrant logs one time-bounded, epoch-fenced power-cap lease
+	// the job manager is about to send to a node. Write-ahead discipline
+	// makes the lease ledger reconstructible: a failover replays every
+	// unexpired grant — whichever manager epoch issued it — and charges
+	// it against the job budget until its TTL passes.
+	KindLeaseGrant
+	// KindEpochChange logs a fencing-epoch adoption: a standby taking
+	// over as primary stamps the journal with its new, strictly higher
+	// epoch before issuing any grant. A deposed primary's later appends
+	// carry a lower epoch and are rejected by the fenced log.
+	KindEpochChange
+	// KindHeartbeat is an epoch-stamped liveness record the primary
+	// appends on epochs with no grants, so a standby can distinguish an
+	// idle primary from a dead one.
+	KindHeartbeat
 )
 
 func (k Kind) String() string {
@@ -74,6 +89,12 @@ func (k Kind) String() string {
 		return "model-fit"
 	case KindTrustTransition:
 		return "trust-transition"
+	case KindLeaseGrant:
+		return "lease-grant"
+	case KindEpochChange:
+		return "epoch-change"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -103,6 +124,14 @@ type Record struct {
 	To      int    `json:"to,omitempty"`
 	Backoff int    `json:"bo,omitempty"`
 	Reason  string `json:"why,omitempty"`
+
+	// KindLeaseGrant / KindEpochChange / KindHeartbeat. LeaseEpoch is the
+	// issuing manager's fencing epoch; Seq orders grants within a reign.
+	Node       string        `json:"n,omitempty"`
+	CapW       float64       `json:"cw,omitempty"`
+	TTL        time.Duration `json:"ttl,omitempty"`
+	LeaseEpoch uint64        `json:"le,omitempty"`
+	Seq        uint64        `json:"sq,omitempty"`
 }
 
 // syncer is what a Writer calls after each append when the underlying

@@ -1,0 +1,178 @@
+package lease
+
+import (
+	"fmt"
+	"time"
+)
+
+// Arbiter is the manager-side budget ledger. It never trusts delivery:
+// a node is charged the largest cap of any of its unexpired grants (and
+// never less than the safe cap the node reverts to on its own), because
+// with lost acks and partitions that maximum is the only sound upper
+// bound on what the node might be enforcing. Grants are clipped so the
+// total charge stays within the budget, which yields the cluster-wide
+// safety invariant by construction:
+//
+//	Σ(per-node enforced cap) ≤ Σ(per-node charge) ≤ job budget
+//
+// The floor charge (safe cap per node) is the "quarantine slack" of the
+// invariant: budget pre-reserved for nodes whose leases have lapsed and
+// which are therefore burning exactly the safe cap.
+type Arbiter struct {
+	budgetW  float64
+	safeCapW float64
+	epoch    uint64
+	seq      uint64
+	order    []string
+	grants   map[string][]Lease
+}
+
+// NewArbiter builds a ledger over the given nodes. The budget must
+// cover at least the safe-cap floor of every node — otherwise even a
+// cluster of fully-quarantined nodes would exceed it.
+func NewArbiter(budgetW, safeCapW float64, epoch uint64, nodes ...string) (*Arbiter, error) {
+	if safeCapW <= 0 {
+		return nil, fmt.Errorf("lease: safe cap %v W must be positive", safeCapW)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("lease: arbiter needs nodes")
+	}
+	if floor := safeCapW * float64(len(nodes)); budgetW < floor {
+		return nil, fmt.Errorf("lease: budget %v W below the %v W safe-cap floor of %d nodes",
+			budgetW, floor, len(nodes))
+	}
+	a := &Arbiter{
+		budgetW:  budgetW,
+		safeCapW: safeCapW,
+		epoch:    epoch,
+		order:    append([]string(nil), nodes...),
+		grants:   make(map[string][]Lease, len(nodes)),
+	}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			return nil, fmt.Errorf("lease: empty or duplicate node %q", n)
+		}
+		seen[n] = true
+		a.grants[n] = nil
+	}
+	return a, nil
+}
+
+// Epoch returns the arbiter's fencing epoch.
+func (a *Arbiter) Epoch() uint64 { return a.epoch }
+
+// SafeCapW returns the per-node floor charge.
+func (a *Arbiter) SafeCapW() float64 { return a.safeCapW }
+
+// BudgetW returns the current budget.
+func (a *Arbiter) BudgetW() float64 { return a.budgetW }
+
+// SetBudget retargets the ledger. A shrinking budget does not revoke
+// outstanding grants — revocation cannot be confirmed across a lossy
+// network — it only stops new grants from exceeding the new budget; the
+// old charges drain as their TTLs lapse.
+func (a *Arbiter) SetBudget(budgetW float64) { a.budgetW = budgetW }
+
+// Adopt installs replayed grants as charges and bumps the fencing state
+// past everything the previous reigns stamped — the failover path. Only
+// grants still unexpired at now matter; the rest can no longer be
+// enforced anywhere.
+func (a *Arbiter) Adopt(grants []Lease, maxEpoch, maxSeq uint64, now time.Duration) {
+	for _, g := range grants {
+		if !g.ActiveAt(now) {
+			continue
+		}
+		if _, known := a.grants[g.Node]; !known {
+			// A grant for a node this arbiter does not manage still caps
+			// budget the node may be burning: charge it under its own name.
+			a.order = append(a.order, g.Node)
+		}
+		a.grants[g.Node] = append(a.grants[g.Node], g)
+	}
+	if maxEpoch >= a.epoch {
+		a.epoch = maxEpoch + 1
+	}
+	if maxSeq > a.seq {
+		a.seq = maxSeq
+	}
+}
+
+// prune drops expired grants; charges decay exactly when enforceability
+// does.
+func (a *Arbiter) prune(now time.Duration) {
+	for n, gs := range a.grants {
+		live := gs[:0]
+		for _, g := range gs {
+			if g.ActiveAt(now) {
+				live = append(live, g)
+			}
+		}
+		a.grants[n] = live
+	}
+}
+
+// Charge returns the budget charged to one node at now.
+func (a *Arbiter) Charge(node string, now time.Duration) float64 {
+	c := a.safeCapW
+	for _, g := range a.grants[node] {
+		if g.ActiveAt(now) && g.CapW > c {
+			c = g.CapW
+		}
+	}
+	return c
+}
+
+// Outstanding returns the total charge at now: Σ(live lease caps) plus
+// the safe-cap slack of every node without a live lease above it.
+func (a *Arbiter) Outstanding(now time.Duration) float64 {
+	var sum float64
+	for _, n := range a.order {
+		sum += a.Charge(n, now)
+	}
+	return sum
+}
+
+// HeadroomFor returns the largest cap grantable to node at now without
+// the total charge exceeding the budget. It is never below the node's
+// current charge, so a renewal at the standing cap always fits.
+func (a *Arbiter) HeadroomFor(node string, now time.Duration) float64 {
+	others := a.Outstanding(now) - a.Charge(node, now)
+	head := a.budgetW - others
+	if cur := a.Charge(node, now); head < cur {
+		head = cur
+	}
+	return head
+}
+
+// Grant issues (or renews) a lease for node, clipping the requested cap
+// to the available headroom. granted is false when the node is unknown
+// or the clip leaves nothing above the safe-cap floor worth granting —
+// the node then simply decays to the safe cap at its current lease's
+// expiry.
+func (a *Arbiter) Grant(node string, capW float64, ttl, now time.Duration) (Lease, bool) {
+	if _, known := a.grants[node]; !known || ttl <= 0 || capW <= 0 {
+		return Lease{}, false
+	}
+	a.prune(now)
+	if head := a.HeadroomFor(node, now); capW > head {
+		capW = head
+	}
+	if capW < a.safeCapW {
+		// A lease below the revert cap buys nothing: the deadman's safe
+		// cap is already tighter, and charging for it would double-count.
+		return Lease{}, false
+	}
+	a.seq++
+	l := Lease{Node: node, CapW: capW, Epoch: a.epoch, Seq: a.seq, GrantedAt: now, TTL: ttl}
+	a.grants[node] = append(a.grants[node], l)
+	return l, true
+}
+
+// InvariantGapW returns how far the total charge stands above the
+// budget at now. It is positive only transiently after SetBudget shrank
+// the budget below already-outstanding charges; grants never create a
+// positive gap, and the gap drains within one TTL.
+func (a *Arbiter) InvariantGapW(now time.Duration) float64 {
+	return a.Outstanding(now) - a.budgetW
+}

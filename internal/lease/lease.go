@@ -1,0 +1,206 @@
+// Package lease turns per-node power caps into time-bounded,
+// epoch-fenced leases, giving the job level of the Argo hierarchy the
+// guarantee the paper's always-up job manager silently assumes: the sum
+// of enforceable caps never exceeds the job budget, even while the
+// manager is dead, failing over, or partitioned from its nodes.
+//
+// Three cooperating pieces:
+//
+//   - A Lease is a cap grant with an expiry and a (fencing epoch,
+//     sequence) stamp. A node enforces a lease only until its TTL; with
+//     no renewal the node's RAPL deadman reverts it to the safe cap, so
+//     an unreachable node provably stops consuming budget.
+//   - A Holder is the node-side state machine. It accepts grants only
+//     with a (epoch, seq) strictly newer than anything it has seen, so a
+//     deposed primary's stale grants — however they arrive — can never
+//     roll a node back to an allocation the current primary no longer
+//     accounts for.
+//   - An Arbiter is the manager-side ledger. Every node is charged
+//     max(safe cap, caps of its unexpired grants): the charge is an
+//     upper bound on what the node could be enforcing right now, no
+//     matter which grants were delivered, lost, or delayed. Grants are
+//     clipped so the total charge never exceeds the budget, which makes
+//     Σ(enforced caps) ≤ budget an invariant rather than a hope.
+//
+// Split-brain safety needs no consensus library: grants are journaled
+// (write-ahead) before they are sent, a failover replays the journal and
+// adopts every unexpired grant as a charge, and the journal itself
+// rejects appends from lower epochs. A deposed primary can therefore
+// only re-deliver grants that are already charged, and the Holder's
+// fencing rejects even those once the node has seen the new epoch.
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"progresscap/internal/journal"
+)
+
+// Errors returned by Holder.Offer.
+var (
+	// ErrFenced rejects a grant whose (epoch, seq) is not strictly newer
+	// than the newest the holder has applied.
+	ErrFenced = errors.New("lease: grant fenced (stale epoch or sequence)")
+	// ErrExpired rejects a grant already past its TTL on arrival
+	// (delivered through a healing partition after its useful life).
+	ErrExpired = errors.New("lease: grant expired on arrival")
+	// ErrWrongNode rejects a grant addressed to a different node.
+	ErrWrongNode = errors.New("lease: grant addressed to another node")
+)
+
+// Lease is one time-bounded power-cap grant.
+type Lease struct {
+	Node      string
+	CapW      float64
+	Epoch     uint64 // issuing manager's fencing epoch
+	Seq       uint64 // grant order within and across reigns
+	GrantedAt time.Duration
+	TTL       time.Duration
+}
+
+// ExpiresAt returns the virtual time at which the lease lapses.
+func (l Lease) ExpiresAt() time.Duration { return l.GrantedAt + l.TTL }
+
+// ActiveAt reports whether the lease is still enforceable at now.
+func (l Lease) ActiveAt(now time.Duration) bool { return now < l.ExpiresAt() }
+
+// newerThan orders grants by (epoch, seq): the fencing comparison.
+func (l Lease) newerThan(epoch, seq uint64) bool {
+	return l.Epoch > epoch || (l.Epoch == epoch && l.Seq > seq)
+}
+
+// Record encodes the lease as a journal record (write-ahead: append this
+// before sending the lease).
+func (l Lease) Record(at time.Duration) journal.Record {
+	return journal.Record{
+		Kind:       journal.KindLeaseGrant,
+		At:         at,
+		Node:       l.Node,
+		CapW:       l.CapW,
+		TTL:        l.TTL,
+		LeaseEpoch: l.Epoch,
+		Seq:        l.Seq,
+	}
+}
+
+// FromRecords folds a replayed journal into the lease ledger state a
+// failover needs: every journaled grant (the adopter filters expiry
+// itself) plus the highest fencing epoch and sequence stamped anywhere.
+func FromRecords(recs []journal.Record) (grants []Lease, maxEpoch, maxSeq uint64) {
+	for _, r := range recs {
+		switch r.Kind {
+		case journal.KindLeaseGrant:
+			grants = append(grants, Lease{
+				Node:      r.Node,
+				CapW:      r.CapW,
+				Epoch:     r.LeaseEpoch,
+				Seq:       r.Seq,
+				GrantedAt: r.At,
+				TTL:       r.TTL,
+			})
+		case journal.KindEpochChange, journal.KindHeartbeat:
+		default:
+			continue
+		}
+		if r.LeaseEpoch > maxEpoch {
+			maxEpoch = r.LeaseEpoch
+		}
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	return grants, maxEpoch, maxSeq
+}
+
+// HolderCounters tallies a holder's accept/reject history.
+type HolderCounters struct {
+	Accepted        uint64
+	RejectedFenced  uint64
+	RejectedExpired uint64
+}
+
+// Holder is the node-side lease state machine. Actuation (the RAPL
+// write, which also re-arms the node's cap deadman) happens through the
+// apply callback, so the holder decides and the hardware layer enforces.
+type Holder struct {
+	node     string
+	safeCapW float64
+	apply    func(capW float64) error
+
+	cur      Lease
+	hasLease bool
+	maxEpoch uint64
+	maxSeq   uint64
+	counters HolderCounters
+}
+
+// NewHolder returns a holder for the named node. safeCapW is the cap the
+// node reverts to when its lease lapses (the cluster quarantine cap,
+// enforced in hardware by the RAPL deadman); apply programs an accepted
+// lease's cap and may be nil in tests.
+func NewHolder(node string, safeCapW float64, apply func(capW float64) error) (*Holder, error) {
+	if node == "" {
+		return nil, fmt.Errorf("lease: holder needs a node name")
+	}
+	if safeCapW <= 0 {
+		return nil, fmt.Errorf("lease: safe cap %v W must be positive (0 is uncapped in RAPL semantics)", safeCapW)
+	}
+	return &Holder{node: node, safeCapW: safeCapW, apply: apply}, nil
+}
+
+// Offer validates and, when acceptable, applies a grant. Fencing is
+// strict: the grant's (epoch, seq) must exceed the newest ever applied,
+// so duplicates, reordered deliveries, and a deposed primary's stale
+// flushes are all rejected by the same comparison.
+func (h *Holder) Offer(l Lease, now time.Duration) error {
+	if l.Node != h.node {
+		return ErrWrongNode
+	}
+	if !l.newerThan(h.maxEpoch, h.maxSeq) {
+		h.counters.RejectedFenced++
+		return ErrFenced
+	}
+	if !l.ActiveAt(now) {
+		// Expired-on-arrival still advances the fence: the sender was
+		// legitimate when it issued the grant, and accepting an older
+		// (epoch, seq) later would reopen the stale-grant hole.
+		h.maxEpoch, h.maxSeq = l.Epoch, l.Seq
+		h.counters.RejectedExpired++
+		return ErrExpired
+	}
+	if h.apply != nil {
+		if err := h.apply(l.CapW); err != nil {
+			return fmt.Errorf("lease: applying %v W on %s: %w", l.CapW, h.node, err)
+		}
+	}
+	h.cur, h.hasLease = l, true
+	h.maxEpoch, h.maxSeq = l.Epoch, l.Seq
+	h.counters.Accepted++
+	return nil
+}
+
+// CapAt returns the cap the node is entitled to at now: the live lease's
+// cap, or the safe cap once the lease has lapsed.
+func (h *Holder) CapAt(now time.Duration) float64 {
+	if h.hasLease && h.cur.ActiveAt(now) {
+		return h.cur.CapW
+	}
+	return h.safeCapW
+}
+
+// Expired reports whether the holder had a lease and it has lapsed
+// without renewal.
+func (h *Holder) Expired(now time.Duration) bool {
+	return h.hasLease && !h.cur.ActiveAt(now)
+}
+
+// Lease returns the newest accepted lease (ok is false before any).
+func (h *Holder) Lease() (Lease, bool) { return h.cur, h.hasLease }
+
+// SafeCapW returns the holder's revert cap.
+func (h *Holder) SafeCapW() float64 { return h.safeCapW }
+
+// Counters returns the accept/reject tallies.
+func (h *Holder) Counters() HolderCounters { return h.counters }

@@ -1,0 +1,251 @@
+package lease
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"progresscap/internal/journal"
+)
+
+const sec = time.Second
+
+func mustHolder(t *testing.T, node string, safe float64) *Holder {
+	t.Helper()
+	h, err := NewHolder(node, safe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHolderLifecycle(t *testing.T) {
+	var applied []float64
+	h, err := NewHolder("n0", 40, func(w float64) error {
+		applied = append(applied, w)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.CapAt(0); got != 40 {
+		t.Fatalf("pre-lease cap = %v, want safe 40", got)
+	}
+	l := Lease{Node: "n0", CapW: 120, Epoch: 1, Seq: 1, GrantedAt: 0, TTL: 3 * sec}
+	if err := h.Offer(l, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.CapAt(2 * sec); got != 120 {
+		t.Fatalf("leased cap = %v, want 120", got)
+	}
+	// TTL lapse with no renewal: back to the safe cap.
+	if got := h.CapAt(3 * sec); got != 40 {
+		t.Fatalf("expired cap = %v, want safe 40", got)
+	}
+	if !h.Expired(3 * sec) {
+		t.Fatal("holder should report expiry")
+	}
+	if len(applied) != 1 || applied[0] != 120 {
+		t.Fatalf("applied = %v", applied)
+	}
+}
+
+func TestHolderFencing(t *testing.T) {
+	h := mustHolder(t, "n0", 40)
+	if err := h.Offer(Lease{Node: "n0", CapW: 100, Epoch: 2, Seq: 5, TTL: 3 * sec}, 0); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		l    Lease
+		want error
+	}{
+		{"older epoch", Lease{Node: "n0", CapW: 150, Epoch: 1, Seq: 9, TTL: 3 * sec}, ErrFenced},
+		{"same epoch same seq (duplicate)", Lease{Node: "n0", CapW: 150, Epoch: 2, Seq: 5, TTL: 3 * sec}, ErrFenced},
+		{"same epoch older seq (reordered)", Lease{Node: "n0", CapW: 150, Epoch: 2, Seq: 4, TTL: 3 * sec}, ErrFenced},
+		{"wrong node", Lease{Node: "n1", CapW: 150, Epoch: 3, Seq: 6, TTL: 3 * sec}, ErrWrongNode},
+	}
+	for _, c := range cases {
+		if err := h.Offer(c.l, sec); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	if got := h.CapAt(sec); got != 100 {
+		t.Fatalf("cap after stale offers = %v, want 100", got)
+	}
+	if c := h.Counters(); c.RejectedFenced != 3 || c.Accepted != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	// A genuinely newer grant still lands.
+	if err := h.Offer(Lease{Node: "n0", CapW: 90, Epoch: 3, Seq: 6, GrantedAt: sec, TTL: 3 * sec}, sec); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.CapAt(2 * sec); got != 90 {
+		t.Fatalf("cap = %v, want 90", got)
+	}
+}
+
+func TestHolderExpiredOnArrivalAdvancesFence(t *testing.T) {
+	h := mustHolder(t, "n0", 40)
+	// Delivered through a healed partition long after issue.
+	late := Lease{Node: "n0", CapW: 150, Epoch: 4, Seq: 9, GrantedAt: 0, TTL: sec}
+	if err := h.Offer(late, 10*sec); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+	if got := h.CapAt(10 * sec); got != 40 {
+		t.Fatalf("cap = %v, want safe 40", got)
+	}
+	// The fence advanced: an older-stamp replay cannot sneak in after.
+	if err := h.Offer(Lease{Node: "n0", CapW: 150, Epoch: 4, Seq: 8, GrantedAt: 10 * sec, TTL: 5 * sec}, 10*sec); !errors.Is(err, ErrFenced) {
+		t.Fatalf("err = %v, want ErrFenced", err)
+	}
+}
+
+func TestHolderValidation(t *testing.T) {
+	if _, err := NewHolder("", 40, nil); err == nil {
+		t.Error("empty node accepted")
+	}
+	if _, err := NewHolder("n0", 0, nil); err == nil {
+		t.Error("zero safe cap accepted (0 W is uncapped in RAPL semantics)")
+	}
+}
+
+func TestArbiterBudgetInvariant(t *testing.T) {
+	a, err := NewArbiter(360, 40, 1, "n0", "n1", "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Floor: three idle nodes are charged the safe cap each.
+	if got := a.Outstanding(0); got != 120 {
+		t.Fatalf("floor outstanding = %v, want 120", got)
+	}
+	// Greedy over-asking is clipped, never over-committed.
+	caps := []float64{200, 200, 200}
+	var granted float64
+	for i, n := range []string{"n0", "n1", "n2"} {
+		l, ok := a.Grant(n, caps[i], 3*sec, 0)
+		if !ok {
+			t.Fatalf("grant %s refused", n)
+		}
+		granted += l.CapW
+	}
+	if out := a.Outstanding(0); out > 360+1e-9 {
+		t.Fatalf("outstanding %v exceeds budget 360", out)
+	}
+	if granted > 360+1e-9 {
+		t.Fatalf("granted caps %v exceed budget", granted)
+	}
+	// Renewal at the standing cap always fits.
+	if _, ok := a.Grant("n0", a.Charge("n0", sec), 3*sec, sec); !ok {
+		t.Fatal("standing renewal refused")
+	}
+}
+
+func TestArbiterChargeDecaysAtExpiry(t *testing.T) {
+	a, err := NewArbiter(360, 40, 1, "n0", "n1", "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Grant("n0", 280, 3*sec, 0); !ok {
+		t.Fatal("grant refused")
+	}
+	// While n0's 280 W lease lives, the others can only get the slack.
+	l, ok := a.Grant("n1", 200, 3*sec, sec)
+	if !ok || l.CapW > 360-280-40+1e-9 {
+		t.Fatalf("grant = %+v ok=%v, want clip to 40", l, ok)
+	}
+	// After expiry the charge decays to the safe cap and the watts return.
+	if got := a.Charge("n0", 4*sec); got != 40 {
+		t.Fatalf("post-expiry charge = %v, want 40", got)
+	}
+	if l, ok := a.Grant("n1", 240, 3*sec, 4*sec); !ok || l.CapW != 240 {
+		t.Fatalf("post-expiry grant = %+v ok=%v, want 240", l, ok)
+	}
+}
+
+func TestArbiterShrinkingBudgetNeverRevokes(t *testing.T) {
+	a, err := NewArbiter(360, 40, 1, "n0", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Grant("n0", 250, 3*sec, 0); !ok {
+		t.Fatal("grant refused")
+	}
+	a.SetBudget(200)
+	// Transient gap is allowed (revocation is impossible) but grants
+	// must not widen it.
+	if _, ok := a.Grant("n1", 150, 3*sec, sec); ok {
+		if out := a.Outstanding(sec); out > 250+40+1e-9 {
+			t.Fatalf("outstanding %v grew past the pre-shrink charge", out)
+		}
+	}
+	// Once the fat lease expires the gap closes for good.
+	if gap := a.InvariantGapW(4 * sec); gap > 0 {
+		t.Fatalf("gap %v W after expiry, want <= 0", gap)
+	}
+}
+
+func TestArbiterAdoptChargesForeignEpochs(t *testing.T) {
+	// A new primary must charge the deposed primary's unexpired grants
+	// even for nodes it was not configured with.
+	a, err := NewArbiter(360, 40, 3, "n0", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []Lease{
+		{Node: "n0", CapW: 200, Epoch: 1, Seq: 7, GrantedAt: 0, TTL: 5 * sec},
+		{Node: "n9", CapW: 60, Epoch: 1, Seq: 8, GrantedAt: 0, TTL: 5 * sec},
+		{Node: "n1", CapW: 100, Epoch: 1, Seq: 9, GrantedAt: 0, TTL: sec}, // already expired at adopt
+	}
+	a.Adopt(old, 2, 9, 2*sec)
+	if a.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3 (maxSeen+1)", a.Epoch())
+	}
+	if got := a.Charge("n0", 2*sec); got != 200 {
+		t.Fatalf("adopted charge = %v, want 200", got)
+	}
+	// Unknown node n9's 60 W and n1's floor both count.
+	want := 200.0 + 40 + 60
+	if got := a.Outstanding(2 * sec); got != want {
+		t.Fatalf("outstanding = %v, want %v", got, want)
+	}
+	// New grants are stamped past the replayed sequence.
+	l, ok := a.Grant("n1", 50, 3*sec, 2*sec)
+	if !ok || l.Seq <= 9 || l.Epoch != 3 {
+		t.Fatalf("grant = %+v ok=%v, want seq > 9 epoch 3", l, ok)
+	}
+}
+
+func TestArbiterValidation(t *testing.T) {
+	if _, err := NewArbiter(100, 40, 1, "a", "b", "c"); err == nil {
+		t.Error("budget below safe-cap floor accepted")
+	}
+	if _, err := NewArbiter(100, 0, 1, "a"); err == nil {
+		t.Error("zero safe cap accepted")
+	}
+	if _, err := NewArbiter(100, 40, 1); err == nil {
+		t.Error("no nodes accepted")
+	}
+	if _, err := NewArbiter(100, 40, 1, "a", "a"); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+}
+
+func TestLeaseJournalRoundTrip(t *testing.T) {
+	l := Lease{Node: "n2", CapW: 77.5, Epoch: 4, Seq: 12, GrantedAt: 9 * sec, TTL: 3 * sec}
+	recs := []journal.Record{
+		{Kind: journal.KindEpochChange, LeaseEpoch: 1},
+		l.Record(9 * sec),
+		{Kind: journal.KindHeartbeat, LeaseEpoch: 4, At: 10 * sec},
+	}
+	grants, maxEpoch, maxSeq := FromRecords(recs)
+	if len(grants) != 1 {
+		t.Fatalf("grants = %d, want 1", len(grants))
+	}
+	if grants[0] != l {
+		t.Fatalf("round trip %+v != %+v", grants[0], l)
+	}
+	if maxEpoch != 4 || maxSeq != 12 {
+		t.Fatalf("maxEpoch/maxSeq = %d/%d", maxEpoch, maxSeq)
+	}
+}

@@ -2,6 +2,7 @@ package pubsub
 
 import (
 	"net"
+	"sort"
 	"sync"
 )
 
@@ -15,10 +16,13 @@ const subscribeTopic = "\x00subscribe"
 type Publisher struct {
 	ln net.Listener
 
-	mu     sync.Mutex
-	conns  map[*pubConn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[*pubConn]struct{}
+	accepted  uint64
+	dropped   uint64 // connections torn down (write error, kick, close)
+	lostDrops uint64 // message drops inherited from torn-down connections
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 type pubConn struct {
@@ -60,6 +64,7 @@ func (p *Publisher) acceptLoop() {
 			return
 		}
 		p.conns[pc] = struct{}{}
+		p.accepted++
 		p.mu.Unlock()
 		p.wg.Add(2)
 		go p.readLoop(pc)
@@ -98,9 +103,16 @@ func (p *Publisher) writeLoop(pc *pubConn) {
 }
 
 func (p *Publisher) dropConn(pc *pubConn) {
+	pc.mu.Lock()
+	shed := pc.dropped
+	pc.mu.Unlock()
 	p.mu.Lock()
 	_, live := p.conns[pc]
 	delete(p.conns, pc)
+	if live {
+		p.dropped++
+		p.lostDrops += shed
+	}
 	p.mu.Unlock()
 	if live {
 		pc.conn.Close()
@@ -168,6 +180,67 @@ func (p *Publisher) NumSubscribers() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.conns)
+}
+
+// SubscriberStats is one live subscriber connection's transport health.
+type SubscriberStats struct {
+	Remote     string   // subscriber's remote address
+	Prefixes   []string // registered topic prefixes
+	QueueDepth int      // messages waiting in the outbound queue
+	Dropped    uint64   // messages lost to a full outbound queue
+}
+
+// PublisherStats surfaces the drop accounting that was previously
+// counted per connection but never exposed: without it, a slow or
+// flapping monitor silently loses progress reports and nobody can tell
+// the transport from the application.
+type PublisherStats struct {
+	Accepted    uint64 // connections accepted over the publisher's lifetime
+	Reconnects  uint64 // accepts beyond each remote's first connection
+	ConnsLost   uint64 // connections torn down (write error, kick, close)
+	Live        int    // current subscriber connections
+	Dropped     uint64 // total messages shed across all subscribers, living and dead
+	Subscribers []SubscriberStats
+}
+
+// Stats snapshots per-subscriber queue depth and drop counters plus the
+// publisher's connection churn. Drops on connections that have since
+// gone away stay counted in Dropped.
+func (p *Publisher) Stats() PublisherStats {
+	p.mu.Lock()
+	conns := make([]*pubConn, 0, len(p.conns))
+	for pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	st := PublisherStats{
+		Accepted:  p.accepted,
+		ConnsLost: p.dropped,
+		Live:      len(conns),
+		Dropped:   p.lostDrops,
+	}
+	p.mu.Unlock()
+
+	remotes := map[string]bool{}
+	for _, pc := range conns {
+		pc.mu.Lock()
+		s := SubscriberStats{
+			Remote:     pc.conn.RemoteAddr().String(),
+			Prefixes:   append([]string(nil), pc.prefixes...),
+			QueueDepth: len(pc.out),
+			Dropped:    pc.dropped,
+		}
+		pc.mu.Unlock()
+		st.Dropped += s.Dropped
+		remotes[s.Remote] = true
+		st.Subscribers = append(st.Subscribers, s)
+	}
+	sort.Slice(st.Subscribers, func(i, j int) bool {
+		return st.Subscribers[i].Remote < st.Subscribers[j].Remote
+	})
+	if st.Accepted > uint64(len(remotes)) && len(remotes) > 0 {
+		st.Reconnects = st.Accepted - uint64(len(remotes))
+	}
+	return st
 }
 
 // Close stops the publisher and disconnects all subscribers.

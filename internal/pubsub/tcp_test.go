@@ -210,3 +210,98 @@ func TestTCPLateSubscribe(t *testing.T) {
 	}
 	publishUntilReceived(t, p, s, Message{Topic: "b.1"})
 }
+
+func TestPublisherStats(t *testing.T) {
+	p, err := NewPublisher("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	s, err := Dial(p.Addr(), "progress.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitSubs(t, p, 1)
+	publishUntilReceived(t, p, s, Message{Topic: "progress.n1", Payload: []byte("1")})
+
+	// Wait for the subscribe frame to be processed so prefixes show up.
+	deadline := time.Now().Add(5 * time.Second)
+	var st PublisherStats
+	for {
+		st = p.Stats()
+		if len(st.Subscribers) == 1 && len(st.Subscribers[0].Prefixes) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never showed registered prefixes: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Accepted != 1 || st.Live != 1 || st.ConnsLost != 0 {
+		t.Errorf("stats = %+v, want accepted 1, live 1, lost 0", st)
+	}
+	if st.Subscribers[0].Prefixes[0] != "progress." {
+		t.Errorf("prefixes = %v", st.Subscribers[0].Prefixes)
+	}
+
+	// Kick and reconnect-free check: the drop is accounted even though the
+	// connection is gone.
+	p.KickAll()
+	deadline = time.Now().Add(5 * time.Second)
+	for p.NumSubscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("kicked subscriber never removed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st = p.Stats()
+	if st.ConnsLost != 1 || st.Live != 0 {
+		t.Errorf("after kick stats = %+v, want lost 1 live 0", st)
+	}
+}
+
+func TestPublisherStatsCountsShedsAcrossConnDeath(t *testing.T) {
+	p, err := NewPublisher("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	s, err := Dial(p.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitSubs(t, p, 1)
+	publishUntilReceived(t, p, s, Message{Topic: "x", Payload: []byte("1")})
+
+	// Simulate a slow subscriber: overflow its 1024-slot queue while the
+	// write loop is blocked behind an unread TCP buffer. Rather than fight
+	// real TCP buffering, inject drops directly through the conn snapshot.
+	p.mu.Lock()
+	var pc *pubConn
+	for c := range p.conns {
+		pc = c
+	}
+	p.mu.Unlock()
+	pc.mu.Lock()
+	pc.dropped = 7
+	pc.mu.Unlock()
+
+	if got := p.Stats().Dropped; got != 7 {
+		t.Fatalf("live drops = %d, want 7", got)
+	}
+	p.KickAll()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.NumSubscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("kicked subscriber never removed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Stats().Dropped; got != 7 {
+		t.Fatalf("drops after conn death = %d, want 7 (inherited)", got)
+	}
+}
