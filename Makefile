@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-race race soak bench bench-smoke experiments figures clean
+.PHONY: all verify build vet test test-race race soak bench bench-smoke bench-diff profile experiments figures clean
 
 # `make` with no target runs the pre-merge gate.
 .DEFAULT_GOAL := verify
@@ -10,8 +10,9 @@ GO ?= go
 all: build vet test test-race soak bench-smoke
 
 # The one-command pre-merge gate: build, vet, the full suite under the
-# race detector, and a single pass of every benchmark.
-verify: build vet test-race bench-smoke
+# race detector, a single pass of every benchmark, and — whenever a
+# tracked baseline exists — the recorded-perf regression gate.
+verify: build vet test-race bench-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -49,6 +50,29 @@ bench:
 # regression gate, just keeps the bench harness itself from rotting.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/benchreport -o /dev/null
+
+# Gate on the recorded perf trajectory: diff the newest tracked baseline
+# against the one before it (or against its own embedded "before" when
+# only one file exists), failing on any >10% ns/op regression. A no-op
+# in a tree with no baselines yet.
+BENCH_FILES := $(shell ls -1 BENCH_*.json 2>/dev/null | sort -r)
+BENCH_NEWEST := $(word 1,$(BENCH_FILES))
+BENCH_PREV := $(word 2,$(BENCH_FILES))
+bench-diff:
+ifeq ($(BENCH_NEWEST),)
+	@echo "bench-diff: no BENCH_*.json baseline tracked; skipping"
+else ifeq ($(BENCH_PREV),)
+	$(GO) run ./cmd/benchreport -diff $(BENCH_NEWEST)
+else
+	$(GO) run ./cmd/benchreport -diff $(BENCH_PREV) $(BENCH_NEWEST)
+endif
+
+# CPU + heap profiles of the full experiment suite, for pprof.
+# `go tool pprof out/cpu.pprof` / `go tool pprof out/mem.pprof`.
+profile:
+	mkdir -p out
+	$(GO) run ./cmd/experiments -cpuprofile out/cpu.pprof -memprofile out/mem.pprof > /dev/null
+	@echo "profiles written to out/cpu.pprof and out/mem.pprof"
 
 # Regenerate every table and figure as text.
 experiments:

@@ -13,6 +13,15 @@
 // before/after pair for a PR. With -echo, input lines are copied to
 // stdout so the tool can sit at the end of a pipe without hiding the
 // benchmark output.
+//
+// Diff mode compares two baselines per benchmark and per metric:
+//
+//	benchreport -diff old.json new.json
+//	benchreport -diff new.json          # old = new's embedded "before"
+//
+// It exits non-zero when any benchmark's ns/op regressed by more than
+// -regress percent (default 10), making it a CI gate for the tracked
+// perf trajectory.
 package main
 
 import (
@@ -24,8 +33,10 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -61,7 +72,16 @@ func main() {
 	before := flag.String("before", "", "embed this prior report under \"before\"")
 	echo := flag.Bool("echo", false, "copy input lines to stdout while parsing")
 	note := flag.String("note", "", "free-form note recorded in the report")
+	diff := flag.Bool("diff", false, "compare two baselines (or one against its embedded \"before\") instead of parsing bench output")
+	regress := flag.Float64("regress", 10, "with -diff, fail when any ns/op regresses by more than this percent")
 	flag.Parse()
+
+	if *diff {
+		if err := runDiff(flag.Args(), *regress, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() == 1 {
@@ -184,4 +204,118 @@ func parseOKLine(line string) (float64, bool) {
 		return 0, false
 	}
 	return secs, true
+}
+
+// loadReport reads and validates one baseline file.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return &rep, nil
+}
+
+// lowerIsBetter reports whether a metric improves by shrinking. Rates
+// (anything per second, like the engine's virtual-s/s) grow when things
+// get faster; costs (ns/op, B/op, allocs/op) shrink.
+func lowerIsBetter(unit string) bool {
+	return !strings.HasSuffix(unit, "/s")
+}
+
+// runDiff compares old vs new per benchmark and per metric, prints the
+// delta table to w, and returns an error when any ns/op regression
+// exceeds regressPct.
+func runDiff(args []string, regressPct float64, w io.Writer) error {
+	var oldRep, newRep *Report
+	var oldName, newName string
+	switch len(args) {
+	case 1:
+		rep, err := loadReport(args[0])
+		if err != nil {
+			return err
+		}
+		if rep.Before == nil {
+			return fmt.Errorf("%s has no embedded \"before\" to diff against", args[0])
+		}
+		oldRep, newRep = rep.Before, rep
+		oldName, newName = args[0]+"#before", args[0]
+	case 2:
+		var err error
+		if oldRep, err = loadReport(args[0]); err != nil {
+			return err
+		}
+		if newRep, err = loadReport(args[1]); err != nil {
+			return err
+		}
+		oldName, newName = args[0], args[1]
+	default:
+		return fmt.Errorf("-diff needs one or two baseline files, got %d", len(args))
+	}
+
+	fmt.Fprintf(w, "benchmark diff: %s (%s) -> %s (%s)\n", oldName, oldRep.Date, newName, newRep.Date)
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tmetric\told\tnew\tdelta")
+	var regressions []string
+	matched := 0
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t(new)\t-\t-\t-\n", nb.Name)
+			continue
+		}
+		matched++
+		units := make([]string, 0, len(nb.Metrics))
+		for u := range nb.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			nv := nb.Metrics[u]
+			ov, ok := ob.Metrics[u]
+			if !ok {
+				continue
+			}
+			var pct float64
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+			}
+			marker := ""
+			if u == "ns/op" && ov > 0 && pct > regressPct {
+				marker = "  << REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s ns/op %+.1f%% (%.0f -> %.0f, limit +%.0f%%)", nb.Name, pct, ov, nv, regressPct))
+			} else if marker == "" {
+				improved := pct < 0
+				if !lowerIsBetter(u) {
+					improved = pct > 0
+				}
+				if improved && (pct > 5 || pct < -5) {
+					marker = "  (improved)"
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%+.1f%%%s\n", nb.Name, u, ov, nv, pct, marker)
+		}
+	}
+	tw.Flush()
+	if matched == 0 {
+		return fmt.Errorf("no benchmark names in common between %s and %s", oldName, newName)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d ns/op regression(s) beyond %.0f%%:\n  %s",
+			len(regressions), regressPct, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "%d benchmarks compared, no ns/op regression beyond %.0f%%\n", matched, regressPct)
+	return nil
 }

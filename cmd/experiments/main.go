@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,7 +35,24 @@ func main() {
 	invariants := flag.Bool("invariants", false, "arm the engine-level safety invariant checker on every run; violations fail the artifact")
 	csvDir := flag.String("csv", "", "also write each artifact's tables as CSV files into this directory")
 	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
+	fixedTick := flag.Bool("fixedtick", false, "run every engine in fixed-tick oracle mode instead of event-driven macro-stepping (validation; output is identical)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite here")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the suite) here")
 	flag.Parse()
+
+	var cpuProfileFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: creating %s: %v\n", *cpuProfile, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: starting CPU profile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuProfileFile = f
+	}
 
 	for _, dir := range []string{*csvDir, *svgDir} {
 		if dir != "" {
@@ -53,6 +72,7 @@ func main() {
 		Seed:            *seed,
 		CheckInvariants: *invariants,
 		Parallel:        *parallel,
+		FixedTick:       *fixedTick,
 	}.WithRunner(runner)
 	start := time.Now()
 
@@ -135,5 +155,24 @@ func main() {
 	st := runner.Stats()
 	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache, peak %d/%d workers, wall %s\n",
 		st.Executed, st.CacheHits, st.PeakWorkers, runner.Parallel(), time.Since(start).Round(time.Millisecond))
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: creating %s: %v\n", *memProfile, err)
+			exit = 2
+		} else {
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing heap profile: %v\n", err)
+				exit = 2
+			}
+			f.Close()
+		}
+	}
+	if cpuProfileFile != nil {
+		// os.Exit below would skip deferred calls; flush explicitly.
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+	}
 	os.Exit(exit)
 }

@@ -4,13 +4,21 @@
 // monitor) aggregating online performance once per second — the complete
 // setup of the paper's experiments (§IV-B, §V).
 //
-// Time is virtual and advances in fixed ticks (default 100 µs). Each
-// tick: the workloads consume compute/memory/sleep at the current
-// operating point, the power meter integrates the resulting draw, and
-// completed iterations are published as progress reports. Every RAPL
-// control period the controller re-actuates; every policy interval the
-// daemon re-evaluates its capping scheme; every aggregation window the
-// monitors flush progress samples and the engine records its traces.
+// Time is virtual and advances event to event. Between consecutive
+// "interesting" instants — the next RAPL control-period boundary, window
+// edge, policy epoch, scheduled callback, fault due-time, deadman expiry,
+// or workload composition boundary — nothing observable can change, so
+// the engine advances all jobs in one closed-form macro-step (work
+// consumed = effHz × Δt per the same T(f) = C/f + M model the old
+// per-tick path integrated) and performs every accumulator update
+// (workload consumption, power integration, counter retirement) at the
+// event instant. At each event: completed iterations are published as
+// progress reports, the RAPL controller re-actuates on its period, the
+// policy daemon re-evaluates on its interval, and the monitors flush
+// once per aggregation window. Config.FixedTick selects a reference mode
+// that walks the clock at most one Tick (default 100 µs) per internal
+// step, re-deriving the event horizon each tick — byte-identical output,
+// used as the differential-testing oracle.
 //
 // A single engine can host several workloads on disjoint core ranges
 // (the URBAN-style composite setup) and can be advanced incrementally
@@ -45,6 +53,14 @@ type Config struct {
 	Tick   time.Duration // simulation step; default 100 µs
 	Window time.Duration // progress aggregation window; default 1 s
 	Seed   uint64
+	// FixedTick selects the reference integration mode: the clock walks
+	// at most one Tick per internal step and the event horizon is
+	// re-derived every tick instead of jumped to. All observable state
+	// still mutates only at event instants, so results are byte-identical
+	// to the default macro-stepping mode; the flag exists as the
+	// differential-testing oracle and costs roughly the pre-event-driven
+	// engine's runtime.
+	FixedTick bool
 }
 
 // DefaultConfig returns the paper's node: 24 cores, default power model,
@@ -81,6 +97,17 @@ func (c Config) validate() error {
 	}
 	if c.RAPL.ControlPeriod > c.Window {
 		return fmt.Errorf("engine: RAPL period %v exceeds aggregation window %v", c.RAPL.ControlPeriod, c.Window)
+	}
+	// The fixed-tick oracle locates events by walking the tick grid; a
+	// tick that does not evenly divide the control period or the window
+	// would let the grid drift across those boundaries, silently breaking
+	// macro-step/fixed-tick equivalence. Rejecting the configuration is
+	// cheaper than documenting a rounding rule nobody relies on.
+	if c.RAPL.ControlPeriod%c.Tick != 0 {
+		return fmt.Errorf("engine: tick %v does not evenly divide RAPL control period %v", c.Tick, c.RAPL.ControlPeriod)
+	}
+	if c.Window%c.Tick != 0 {
+		return fmt.Errorf("engine: tick %v does not evenly divide aggregation window %v", c.Tick, c.Window)
 	}
 	return nil
 }
@@ -202,6 +229,7 @@ type job struct {
 type Engine struct {
 	cfg    Config
 	clock  *simtime.Clock
+	sched  *simtime.Scheduler
 	dev    *msr.Device
 	domain *cpu.Domain
 	uncore *cpu.Uncore
@@ -224,6 +252,13 @@ type Engine struct {
 
 	lastFlush  time.Duration
 	energyMark float64
+
+	// obsAnchor is the instant the engine has integrated up to: the start
+	// of the current stretch. Workload consumption and power observation
+	// flush from it to each event instant; it always equals the clock at
+	// event boundaries (in fixed-tick mode the clock walks ahead of it
+	// between events without mutating anything).
+	obsAnchor time.Duration
 
 	// Payload recycling: progress-report buffers flow Reporter.Publish →
 	// bus → job subscription → flushWindow, where — once decoded — the
@@ -323,9 +358,11 @@ func NewMulti(cfg Config, ws ...*workload.Workload) (*Engine, error) {
 	bank := counters.NewBank(cfg.CPU.Cores)
 	bus := pubsub.NewBus()
 
+	clock := simtime.NewClock(0)
 	e := &Engine{
 		cfg:    cfg,
-		clock:  simtime.NewClock(0),
+		clock:  clock,
+		sched:  simtime.NewScheduler(clock),
 		dev:    dev,
 		domain: domain,
 		uncore: uncore,
@@ -383,6 +420,15 @@ func (e *Engine) MaxFreqMHz() float64 { return e.cfg.CPU.MaxMHz }
 
 // Clock returns the engine's virtual clock.
 func (e *Engine) Clock() *simtime.Clock { return e.clock }
+
+// Scheduler returns the engine's event scheduler. Callbacks scheduled on
+// it run on the engine goroutine during Advance, at exactly their
+// scheduled virtual instant (the instant becomes part of the event
+// horizon, so a macro-step never strides past it); at one instant they
+// fire before RAPL control, the policy daemon, and the window flush.
+// Experiments use it to inject mid-run actuations — a cap schedule, a
+// manual DVFS change — without tick-polling.
+func (e *Engine) Scheduler() *simtime.Scheduler { return e.sched }
 
 // Controller returns the RAPL controller (for manual-mode experiments).
 func (e *Engine) Controller() *rapl.Controller { return e.ctl }
@@ -545,44 +591,39 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 		e.reserve(int(limit/e.cfg.Window) + 2)
 	}
 
-	// Hoist loop-invariant interfaces and nil-checks out of the tick loop.
-	// A nil fault layer or absent policy daemon must cost nothing per tick.
+	// Hoist loop-invariant interfaces and nil-checks out of the loop.
+	// A nil fault layer or absent policy daemon must cost nothing per step.
 	pubFaults := e.pubFaults
 	policyTicker := e.policyTicker
 	daemon := e.daemon
 	done := e.Done()
 
-	for !done && e.clock.Now() < limit {
-		now := e.clock.Now() + tick
+	// Fire anything scheduled at exactly the current instant before
+	// computing the first horizon, so every horizon below is strictly in
+	// the future.
+	e.sched.RunDue(e.clock.Now())
 
-		// 1. Workloads consume the tick at the current operating point.
+	for !done && e.clock.Now() < limit {
+		now := e.clock.Now()
+
+		// 1. Stretch composition at the current operating point. These are
+		// pure state reads: the macro mode evaluates them once per event,
+		// the fixed-tick oracle once per tick, with identical values.
 		effHz := e.domain.EffectiveMHz() * 1e6
 		memFactor := e.uncore.MemTimeFactor()
-		var engaged, sleeping int
+		var engaged int
 		var actSum, bwUtil float64
-		completed := false
+		var wlNext time.Duration
+		wlHas := false
 		for _, j := range e.jobs {
-			out := j.exec.Step(now, tick, effHz, memFactor)
-			engaged += out.Engaged
-			sleeping += out.Sleeping
-			actSum += out.Activity * float64(out.Engaged)
-			bwUtil += out.BWUtil
-			// 2. Publish completed iterations as progress reports.
-			for _, ev := range out.Completions {
-				completed = true
-				j.reporter.Publish(ev.Phase, ev.Progress, ev.At)
-				j.res.WorkUnits += ev.WorkUnits
-				e.res.WorkUnits += ev.WorkUnits
+			sp := j.exec.Span(effHz, memFactor)
+			engaged += sp.Engaged
+			actSum += sp.ActivitySum
+			bwUtil += sp.BWUtil
+			if sp.HasBoundary && (!wlHas || sp.Boundary < wlNext) {
+				wlNext, wlHas = sp.Boundary, true
 			}
 		}
-		// Release any fault-delayed progress reports that have come due;
-		// they re-enter after newer traffic, i.e. reordered.
-		if pubFaults != nil {
-			for _, m := range pubFaults.Due(now) {
-				e.bus.Publish(m)
-			}
-		}
-
 		activity := 0.0
 		if engaged > 0 {
 			activity = actSum / float64(engaged)
@@ -590,8 +631,6 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 		if bwUtil > 1 {
 			bwUtil = 1
 		}
-
-		// 3. Power integration and controller observation.
 		state := power.NodeState{
 			EngagedCores: engaged,
 			IdleCores:    cores - engaged,
@@ -601,31 +640,110 @@ func (e *Engine) Advance(d time.Duration) (bool, error) {
 			BWUtil:       bwUtil,
 			BWScale:      e.uncore.BWScale(),
 		}
-		e.ctl.Observe(state, tick)
 
-		e.clock.AdvanceTo(now)
+		// 2. Event horizon: the earliest instant anything observable can
+		// change. A quiescent RAPL controller (uncapped at its fixed point,
+		// or manual) contributes no control boundaries — the dominant win
+		// for uncapped baselines; its skipped fires were no-ops, so on
+		// leaving quiescence the ticker catches up without replaying them.
+		raplQuiet := e.ctl.Quiescent()
+		if !raplQuiet && e.raplTicker.Next() <= now {
+			e.raplTicker.CatchUp(now)
+		}
+		h := limit
+		if wlHas && wlNext < h {
+			h = wlNext
+		}
+		if !raplQuiet && e.raplTicker.Next() < h {
+			h = e.raplTicker.Next()
+		}
+		if e.windowTicker.Next() < h {
+			h = e.windowTicker.Next()
+		}
+		if policyTicker != nil && policyTicker.Next() < h {
+			h = policyTicker.Next()
+		}
+		if at, ok := e.sched.NextAt(); ok && at < h {
+			h = at
+		}
+		if pubFaults != nil {
+			if at, ok := pubFaults.NextDueAt(); ok && at < h {
+				h = at
+			}
+		}
+		if rem, ok := e.ctl.DeadmanRemaining(); ok {
+			if dl := e.obsAnchor + rem; dl < h {
+				h = dl
+			}
+		}
+		if h <= now {
+			// Defensive only: every source above is strictly future once
+			// due events are consumed. Never stall the clock.
+			h = now + tick
+		}
+		te := h
 
-		// 4. RAPL control loop.
-		for e.raplTicker.FiredAt(now) {
-			e.ctl.Control()
+		// 3. Fixed-tick oracle: walk at most one tick. A hop that falls
+		// short of the horizon changes nothing observable and skips the
+		// flush entirely, so state mutates at exactly the instants the
+		// macro path visits.
+		if e.cfg.FixedTick {
+			if nt := now - now%tick + tick; nt < te {
+				e.clock.AdvanceTo(nt)
+				continue
+			}
 		}
 
-		// 5. Policy daemon (1 Hz).
+		// 4. Flush the stretch [obsAnchor, te]: workloads consume it in
+		// one analytic step and publish iterations completed exactly at
+		// te, fault-delayed reports come due, and the controller
+		// integrates power and demand over the full stretch.
+		// The clock moves first: anything reading it during the flush (the
+		// transport fault layer timestamps intercepted publishes with it)
+		// must see te, which both modes visit, never the mode-dependent
+		// previously visited instant.
+		e.clock.AdvanceTo(te)
+		completed := false
+		for _, j := range e.jobs {
+			for _, ev := range j.exec.ConsumeTo(te, effHz, memFactor) {
+				completed = true
+				j.reporter.Publish(ev.Phase, ev.Progress, ev.At)
+				j.res.WorkUnits += ev.WorkUnits
+				e.res.WorkUnits += ev.WorkUnits
+			}
+		}
+		if pubFaults != nil {
+			for _, m := range pubFaults.Due(te) {
+				e.bus.Publish(m)
+			}
+		}
+		if dt := te - e.obsAnchor; dt > 0 {
+			e.ctl.Observe(state, dt)
+			e.obsAnchor = te
+		}
+
+		// 5. Fire due events in the legacy per-tick order: scheduled
+		// callbacks, RAPL control, policy daemon, window flush.
+		e.sched.RunDue(te)
+		if !raplQuiet {
+			for e.raplTicker.FiredAt(te) {
+				e.ctl.Control()
+			}
+		}
 		if policyTicker != nil {
-			for policyTicker.FiredAt(now) {
-				if err := daemon.Apply(now); err != nil {
+			for policyTicker.FiredAt(te) {
+				if err := daemon.Apply(te); err != nil {
 					return false, err
 				}
 			}
 		}
-
-		// 6. Progress aggregation + trace recording.
-		for e.windowTicker.FiredAt(now) {
-			e.flushWindow(now)
+		for e.windowTicker.FiredAt(te) {
+			e.flushWindow(te)
 		}
 
-		// A workload can only transition to done on a tick that completed
-		// its final iteration, so the all-jobs scan runs only then.
+		// A workload can only transition to done at an event that
+		// completed its final iteration, so the all-jobs scan runs only
+		// then.
 		if completed {
 			done = e.Done()
 		}

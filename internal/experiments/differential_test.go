@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestMacroFixedTickEquivalence is the macro-stepping engine's
+// non-negotiable: every generator in the harness — the full paper suite
+// plus every extension, including the faulted (ext-faults, ext-crashes)
+// and partitioned (ext-partitions) scenarios — must render byte-identical
+// artifacts whether the engines inside advance event-to-event or walk the
+// fixed 100µs tick grid. It is the companion of
+// TestAllParallelDeterminism: that one pins the scheduler, this one pins
+// the integrator.
+func TestMacroFixedTickEquivalence(t *testing.T) {
+	skipIfRace(t)
+	if testing.Short() {
+		t.Skip("dual-mode full-suite sweep is expensive")
+	}
+	type gen struct {
+		name string
+		fn   func(Options) (*Artifact, error)
+	}
+	gens := []gen{
+		{"ext-alpha", ExtAlphaFit},
+		{"ext-techniques", ExtTechniques},
+		{"ext-composite", ExtComposite},
+		{"ext-energy", ExtEnergy},
+		{"ext-cluster", ExtCluster},
+		{"ext-method", ExtMethod},
+		{"ext-faults", ExtFaults},
+		{"ext-crashes", ExtCrashes},
+		{"ext-partitions", ExtPartitions},
+	}
+	render := func(fixed bool) []string {
+		opts := quickOpts()
+		opts.FixedTick = fixed
+		arts, err := All(opts)
+		if err != nil {
+			t.Fatalf("All(FixedTick=%v): %v", fixed, err)
+		}
+		out := make([]string, 0, len(arts)+len(gens))
+		for _, a := range arts {
+			out = append(out, a.Render())
+		}
+		for _, g := range gens {
+			a, err := g.fn(opts)
+			if err != nil {
+				t.Fatalf("%s(FixedTick=%v): %v", g.name, fixed, err)
+			}
+			out = append(out, a.Render())
+		}
+		return out
+	}
+	macro := render(false)
+	fixed := render(true)
+	if len(macro) != len(fixed) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(macro), len(fixed))
+	}
+	for i := range macro {
+		if macro[i] != fixed[i] {
+			t.Errorf("artifact %d differs between macro and fixed-tick mode:\n--- macro ---\n%s\n--- fixed-tick ---\n%s",
+				i, macro[i], fixed[i])
+		}
+	}
+}

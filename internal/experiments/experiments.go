@@ -61,6 +61,12 @@ type Options struct {
 	// fully serial harness. Results are byte-identical at any setting;
 	// only wall time changes.
 	Parallel int
+	// FixedTick forces every engine the harness builds to run in the
+	// fixed-tick oracle mode instead of event-driven macro-stepping (see
+	// engine.Config.FixedTick). Output is byte-identical either way —
+	// the differential test asserts exactly that — so this exists for
+	// validation, not for users.
+	FixedTick bool
 
 	// runner schedules and memoizes runs. All generators reached through
 	// one Options value (All, or cmd/experiments via WithRunner) share it,
@@ -155,12 +161,23 @@ func (a *Artifact) Render() string {
 // capSpec describes one run under a scheme (nil = uncapped). mk must
 // build a fresh workload per call when the spec will be Prefetched.
 func (o Options) capSpec(mk func() *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) RunSpec {
-	return RunSpec{Make: mk, Scheme: scheme, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants}
+	return RunSpec{Make: mk, Scheme: scheme, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick}
 }
 
 // dvfsSpec describes one run pinned at a frequency with RAPL manual.
 func (o Options) dvfsSpec(mk func() *workload.Workload, mhz float64, seed uint64, maxSeconds float64) RunSpec {
-	return RunSpec{Make: mk, DVFSMHz: mhz, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants}
+	return RunSpec{Make: mk, DVFSMHz: mhz, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick}
+}
+
+// engineConfig returns the node configuration every harness-built engine
+// starts from: the package default plus the Options' engine-mode knobs.
+// Extension generators that construct engines directly (rather than going
+// through the Runner) must use this so -- and only so -- FixedTick reaches
+// them too.
+func (o Options) engineConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.FixedTick = o.FixedTick
+	return cfg
 }
 
 // run executes one workload under a scheme (nil = uncapped) and returns

@@ -90,7 +90,7 @@ func RunCrashHarness(opts Options, killAt time.Duration) (*CrashReport, error) {
 	const dur = 30 * time.Second
 
 	mkEngine := func(seedOff uint64) (*engine.Engine, error) {
-		cfg := engine.DefaultConfig()
+		cfg := opts.engineConfig()
 		cfg.Seed = opts.Seed + seedOff
 		// Sized to outlast the run, so work done is purely rate-limited.
 		e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, int(dur.Seconds())*100))

@@ -146,7 +146,7 @@ func ExtTechniques(opts Options) (*Artifact, error) {
 			add("DVFS", fmt.Sprintf("%.0f MHz", mhz), res)
 		}
 		for _, duty := range []float64{0.75, 0.5} {
-			cfg := engine.DefaultConfig()
+			cfg := opts.engineConfig()
 			cfg.Seed = opts.Seed
 			e, err := engine.New(cfg, mk[appName]())
 			if err != nil {
@@ -186,7 +186,7 @@ func ExtComposite(opts Options) (*Artifact, error) {
 	}
 	runURBAN := func(scheme policy.Scheme, dur float64) (*engine.Result, error) {
 		nek, eplus := apps.URBANComponents(dur)
-		e, err := engine.NewMulti(engine.DefaultConfig(), nek, eplus)
+		e, err := engine.NewMulti(opts.engineConfig(), nek, eplus)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +332,7 @@ func ExtCluster(opts Options) (*Artifact, error) {
 	steps := int(opts.RunSeconds * 3 * 20)
 	mkNodes := func(seedBase uint64) []*cluster.Node {
 		mk := func(name string, ineff float64, seed uint64) *cluster.Node {
-			cfg := engine.DefaultConfig()
+			cfg := opts.engineConfig()
 			cfg.Seed = seed
 			cfg.Power.CoreDynMaxW *= ineff
 			e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, steps))

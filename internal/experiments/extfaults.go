@@ -28,7 +28,7 @@ func ExtFaults(opts Options) (*Artifact, error) {
 	// NRM run under a fault plan (nil = clean). The workload is sized to
 	// outlast the run so the true progress rate is WorkUnits/Elapsed.
 	runNRM := func(plan *fault.Plan, dur time.Duration) (*engine.Result, *nrm.NRM, error) {
-		cfg := engine.DefaultConfig()
+		cfg := opts.engineConfig()
 		cfg.Seed = opts.Seed
 		e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, int(dur.Seconds())*50))
 		if err != nil {
@@ -124,7 +124,7 @@ func ExtFaults(opts Options) (*Artifact, error) {
 	// fences the dead node at the quarantine cap and the survivors
 	// inherit its budget share.
 	mkNode := func(name string, seed uint64) *cluster.Node {
-		cfg := engine.DefaultConfig()
+		cfg := opts.engineConfig()
 		cfg.Seed = seed
 		e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, 1500))
 		if err != nil {

@@ -64,7 +64,7 @@ func RunPartitionSuite(opts Options) (*PartitionReport, error) {
 		var nodes []*cluster.LeasedNode
 		var engines []*engine.Engine
 		for i, nn := range []string{"n0", "n1", "n2"} {
-			cfg := engine.DefaultConfig()
+			cfg := opts.engineConfig()
 			cfg.Seed = opts.Seed + uint64(i)
 			// Epoch-level control needs no sub-millisecond plant ticks;
 			// the coarse tick keeps the five-scenario suite fast.

@@ -35,6 +35,11 @@ type RunSpec struct {
 	// part of the memoization key: an invariant-checked run can fail where
 	// an unchecked one succeeds.
 	Invariants bool
+	// FixedTick runs the engine in fixed-tick oracle mode (see
+	// engine.Config.FixedTick). Part of the memoization key so the
+	// differential test never collapses the two modes onto one cached
+	// result.
+	FixedTick bool
 }
 
 // key returns the canonical memoization key: a fingerprint of the
@@ -104,6 +109,11 @@ func (s RunSpec) key() string {
 	put64(s.Seed)
 	putF(s.MaxSeconds)
 	if s.Invariants {
+		put64(1)
+	} else {
+		put64(0)
+	}
+	if s.FixedTick {
 		put64(1)
 	} else {
 		put64(0)
@@ -249,6 +259,7 @@ func (r *Runner) execute(spec RunSpec, e *runEntry) {
 func runOnce(spec RunSpec) (*engine.Result, error) {
 	cfg := engine.DefaultConfig()
 	cfg.Seed = spec.Seed
+	cfg.FixedTick = spec.FixedTick
 	eng, err := engine.New(cfg, spec.Make())
 	if err != nil {
 		return nil, err

@@ -110,6 +110,20 @@ func (f *PubSub) Due(now time.Duration) []pubsub.Message {
 	return out
 }
 
+// NextDueAt returns the earliest release time among held-back messages.
+// ok is false when nothing is queued. It is the transport injector's
+// NextEventAt hook: a macro-stepping engine must not stride past a
+// delayed report's due time, or the report would re-enter later than the
+// fixed-tick engine delivers it.
+func (f *PubSub) NextDueAt() (t time.Duration, ok bool) {
+	for _, d := range f.queue {
+		if !ok || d.due < t {
+			t, ok = d.due, true
+		}
+	}
+	return t, ok
+}
+
 // Pending returns how many delayed messages are still held.
 func (f *PubSub) Pending() int { return len(f.queue) }
 

@@ -199,6 +199,18 @@ func (h *Holder) Expired(now time.Duration) bool {
 // Lease returns the newest accepted lease (ok is false before any).
 func (h *Holder) Lease() (Lease, bool) { return h.cur, h.hasLease }
 
+// NextExpiryAt returns when the currently active lease lapses: the
+// holder's NextEventAt hook for macro-stepping drivers, which must visit
+// the expiry instant to apply the safe-cap revert on time. ok is false
+// when no lease is held or the held one has already lapsed (the revert
+// is past, not pending).
+func (h *Holder) NextExpiryAt(now time.Duration) (t time.Duration, ok bool) {
+	if !h.hasLease || !h.cur.ActiveAt(now) {
+		return 0, false
+	}
+	return h.cur.ExpiresAt(), true
+}
+
 // SafeCapW returns the holder's revert cap.
 func (h *Holder) SafeCapW() float64 { return h.safeCapW }
 

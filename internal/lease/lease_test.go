@@ -249,3 +249,24 @@ func TestLeaseJournalRoundTrip(t *testing.T) {
 		t.Fatalf("maxEpoch/maxSeq = %d/%d", maxEpoch, maxSeq)
 	}
 }
+
+func TestHolderNextExpiryAt(t *testing.T) {
+	h, err := NewHolder("n0", 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.NextExpiryAt(0); ok {
+		t.Fatal("holder with no lease reported a pending expiry")
+	}
+	l := Lease{Node: "n0", CapW: 120, Epoch: 1, Seq: 1, GrantedAt: time.Second, TTL: 3 * time.Second}
+	if err := h.Offer(l, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := h.NextExpiryAt(2 * time.Second); !ok || at != 4*time.Second {
+		t.Fatalf("NextExpiryAt = %v,%v, want 4s,true", at, ok)
+	}
+	// Past the expiry the revert is history, not a pending event.
+	if _, ok := h.NextExpiryAt(5 * time.Second); ok {
+		t.Fatal("expired lease reported a pending expiry")
+	}
+}

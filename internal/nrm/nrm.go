@@ -308,6 +308,14 @@ func (n *NRM) ChangeLog() []progress.PhaseChange {
 // observed.
 func (n *NRM) RateTrace() *trace.Series { return n.rateTrace }
 
+// NextDecisionAt returns the first epoch boundary strictly after now:
+// the NRM's NextEventAt hook for macro-stepping drivers. Decisions land
+// on the fixed epoch grid (the paper's tool acts once a second), so the
+// next one is the next grid multiple regardless of where now falls.
+func (n *NRM) NextDecisionAt(now time.Duration) time.Duration {
+	return now - now%n.cfg.Epoch + n.cfg.Epoch
+}
+
 // SetBudget switches the NRM to budget-enforcement mode (0 = uncapped).
 // Takes effect at the next epoch.
 func (n *NRM) SetBudget(watts float64) {

@@ -216,3 +216,20 @@ func TestKnobString(t *testing.T) {
 		t.Fatal("knob names wrong")
 	}
 }
+
+func TestNRMNextDecisionAt(t *testing.T) {
+	n, err := New(Config{Beta: 1.0}, newEngine(t, 300, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ now, want time.Duration }{
+		{0, time.Second},
+		{time.Second, 2 * time.Second},
+		{1500 * time.Millisecond, 2 * time.Second},
+		{2*time.Second - time.Nanosecond, 2 * time.Second},
+	} {
+		if got := n.NextDecisionAt(tc.now); got != tc.want {
+			t.Errorf("NextDecisionAt(%v) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+}

@@ -333,6 +333,11 @@ func (m *Monitor) Flush(now time.Duration) Sample {
 	return s
 }
 
+// NextFlushAt returns the end of the window currently being aggregated:
+// the monitor's NextEventAt hook for macro-stepping drivers, which must
+// not stride past a window edge without closing it.
+func (m *Monitor) NextFlushAt() time.Duration { return m.lastFlush + m.window }
+
 // EmptyWindows returns how many consecutive windows (ending with the most
 // recent Flush) closed with zero reports — the staleness signal consumers
 // use to distinguish "application reports slowly" (isolated zero windows,

@@ -236,3 +236,19 @@ func TestBehaviorString(t *testing.T) {
 		t.Fatal("unknown behavior string wrong")
 	}
 }
+
+func TestMonitorNextFlushAt(t *testing.T) {
+	m := NewMonitor(time.Second)
+	if got := m.NextFlushAt(); got != time.Second {
+		t.Fatalf("fresh monitor NextFlushAt = %v, want 1s", got)
+	}
+	m.Flush(time.Second)
+	if got := m.NextFlushAt(); got != 2*time.Second {
+		t.Fatalf("after flush at 1s, NextFlushAt = %v, want 2s", got)
+	}
+	// A late (off-grid) flush restarts the window from where it happened.
+	m.Flush(2500 * time.Millisecond)
+	if got := m.NextFlushAt(); got != 3500*time.Millisecond {
+		t.Fatalf("after flush at 2.5s, NextFlushAt = %v, want 3.5s", got)
+	}
+}

@@ -72,6 +72,25 @@ func (c *Controller) DeadmanTrips() uint64 { return c.deadmanTrips }
 // re-arm since the last revert).
 func (c *Controller) DeadmanExpired() bool { return c.tripped }
 
+// DeadmanRemaining returns how much more Observe-integrated time may
+// elapse before the armed cap TTL expires. ok is false when the deadman
+// is disarmed or already tripped. It is the controller's NextEventAt
+// hook for the macro-stepping engine: the trip must happen at an exact
+// instant, so the engine schedules a flush no later than its own
+// observation anchor plus the returned remainder. A cap write between
+// the last Observe and that flush re-arms the TTL at the flush, making
+// the scheduled instant a harmless early visit rather than a trip.
+func (c *Controller) DeadmanRemaining() (time.Duration, bool) {
+	if c.deadman == nil || c.tripped {
+		return 0, false
+	}
+	rem := c.deadman.TTL - c.armAge
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
 // tickDeadman advances the TTL clock by dt; Observe calls it every
 // simulation tick. A fresh write of PKG_POWER_LIMIT re-arms (and clears
 // a trip); TTL expiry reverts the register to the firmware-default cap

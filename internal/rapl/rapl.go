@@ -90,6 +90,15 @@ type Controller struct {
 	trimW  float64
 	manual bool
 
+	// Quiescence tracking: uncappedIdle records that the last Control
+	// found no enabled PL1 limit (from a successful register read) and
+	// parked the domain at its maximum operating point; idleSeq is the
+	// PKG_POWER_LIMIT write sequence it saw. While both still hold,
+	// Control calls are no-ops and the engine may skip them. See
+	// Quiescent.
+	uncappedIdle bool
+	idleSeq      uint64
+
 	// Deadman state (nil = disarmed): see deadman.go.
 	deadman      *Deadman
 	armSeq       uint64
@@ -218,8 +227,14 @@ func (c *Controller) Control() {
 		c.domain.SetDuty(1)
 		c.uncore.SetBWScale(1)
 		c.trimW = 0
+		// Quiescent only on a clean read: a transient read fault must keep
+		// the controller polling at full rate, since the register may hold
+		// an enforceable cap it simply could not see this period.
+		c.uncappedIdle = err == nil
+		c.idleSeq = c.dev.WriteSeq(msr.PkgPowerLimit)
 		return
 	}
+	c.uncappedIdle = false
 	c.enforce(pl1.Watts)
 
 	// PL2 burst protection: if the short-window average breaches the
@@ -322,6 +337,28 @@ func (c *Controller) enforce(capW float64) {
 	// Step 4: integral trim against the measured running average.
 	errW := capW - c.meter.AvgPkgW()
 	c.trimW = stats.Clamp(c.trimW+c.opts.TrimGain*errW, -c.opts.TrimLimitW, c.opts.TrimLimitW)
+}
+
+// Quiescent reports whether skipping Control calls until the next
+// PKG_POWER_LIMIT write would be observationally identical to running
+// them every period. That holds in manual mode (Control only republishes
+// an operating point nothing actuates) and while the package is uncapped
+// with the domain already parked at maximum — the uncapped branch of
+// Control is then a fixed point. An armed deadman is never quiescent: its
+// TTL expiry reverts the cap via Poke, which deliberately leaves the
+// write sequence untouched and so would be invisible to this check.
+//
+// The check reads only write-sequence metadata, never the register value,
+// so it draws no fault-injection randomness and is identical between the
+// macro-stepping and fixed-tick engine modes.
+func (c *Controller) Quiescent() bool {
+	if c.deadman != nil {
+		return false
+	}
+	if c.manual {
+		return true
+	}
+	return c.uncappedIdle && c.dev.WriteSeq(msr.PkgPowerLimit) == c.idleSeq
 }
 
 // boundedness converts the observed compute activity into an estimate of

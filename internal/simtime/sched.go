@@ -67,6 +67,32 @@ func (s *Scheduler) After(d time.Duration, fn func(now time.Duration)) {
 	s.At(s.clock.Now()+d, fn)
 }
 
+// NextAt returns the time of the earliest pending event. ok is false
+// when the queue is empty. It is the scheduler's contribution to an
+// event-horizon computation: a macro-stepping engine advances no further
+// than the returned instant in one stride.
+func (s *Scheduler) NextAt() (t time.Duration, ok bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].At, true
+}
+
+// RunDue fires every event due at or before now, in (time, schedule)
+// order, without touching the clock — the caller has already advanced it
+// to now. Events scheduled from inside a firing callback are fired in the
+// same call when they fall due at or before now. It returns the number of
+// events executed.
+func (s *Scheduler) RunDue(now time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 && s.queue[0].At <= now {
+		e := heap.Pop(&s.queue).(*Event)
+		e.Fn(e.At)
+		n++
+	}
+	return n
+}
+
 // Step runs the next pending event, advancing the clock to its time.
 // It reports whether an event ran.
 func (s *Scheduler) Step() bool {

@@ -94,6 +94,92 @@ func TestSchedulerEventsScheduleEvents(t *testing.T) {
 	}
 }
 
+func TestSchedulerAtCurrentInstant(t *testing.T) {
+	s := NewScheduler(NewClock(time.Minute))
+	ran := false
+	// Scheduling at exactly the current instant is legal (only strictly
+	// past times panic) and the event is immediately due.
+	s.At(time.Minute, func(now time.Duration) {
+		if now != time.Minute {
+			t.Fatalf("callback now = %v, want 1m", now)
+		}
+		ran = true
+	})
+	if at, ok := s.NextAt(); !ok || at != time.Minute {
+		t.Fatalf("NextAt = %v,%v, want 1m,true", at, ok)
+	}
+	if n := s.RunDue(time.Minute); n != 1 || !ran {
+		t.Fatalf("RunDue at the current instant ran %d events (ran=%v), want 1", n, ran)
+	}
+	if s.Clock().Now() != time.Minute {
+		t.Fatalf("RunDue moved the clock to %v", s.Clock().Now())
+	}
+}
+
+// TestSchedulerSameInstantFIFOInterleaved pushes and pops around a
+// same-instant burst: FIFO order among equal-time events must survive the
+// heap churn of earlier events being consumed between the pushes.
+func TestSchedulerSameInstantFIFOInterleaved(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	var got []int
+	s.At(time.Second, func(time.Duration) { got = append(got, 0) })
+	s.At(3*time.Second, func(time.Duration) { got = append(got, 1) })
+	s.At(3*time.Second, func(time.Duration) { got = append(got, 2) })
+	if !s.Step() { // pop the 1s event; heap reorders internally
+		t.Fatal("no event at 1s")
+	}
+	s.At(3*time.Second, func(time.Duration) { got = append(got, 3) })
+	s.At(2*time.Second, func(time.Duration) { got = append(got, 4) })
+	s.Step() // pop the 2s event between same-instant pushes
+	s.At(3*time.Second, func(time.Duration) { got = append(got, 5) })
+	s.Drain()
+	want := []int{0, 4, 1, 2, 3, 5}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("interleaved same-instant order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerCallbackSchedulesSameInstant verifies an event scheduled
+// from inside a firing callback: due at the firing instant it runs in the
+// same RunDue pass (after everything already queued there), due later it
+// stays pending.
+func TestSchedulerCallbackSchedulesSameInstant(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	var got []string
+	s.At(time.Second, func(now time.Duration) {
+		got = append(got, "first")
+		s.At(now, func(time.Duration) { got = append(got, "nested-now") })
+		s.At(now+time.Second, func(time.Duration) { got = append(got, "nested-later") })
+	})
+	s.At(time.Second, func(time.Duration) { got = append(got, "second") })
+	s.Clock().AdvanceTo(time.Second)
+	if n := s.RunDue(time.Second); n != 3 {
+		t.Fatalf("RunDue(1s) ran %d events, want 3 (including the nested same-instant one)", n)
+	}
+	want := []string{"first", "second", "nested-now"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("callback-scheduled order = %v, want %v", got, want)
+		}
+	}
+	if at, ok := s.NextAt(); !ok || at != 2*time.Second {
+		t.Fatalf("pending after RunDue: NextAt = %v,%v, want 2s,true", at, ok)
+	}
+	s.Drain()
+	if got[len(got)-1] != "nested-later" {
+		t.Fatalf("later nested event never fired: %v", got)
+	}
+}
+
+func TestSchedulerNextAtEmpty(t *testing.T) {
+	s := NewScheduler(NewClock(0))
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt on an empty scheduler reported an event")
+	}
+}
+
 // Property: for any set of non-negative offsets, the scheduler fires
 // events in non-decreasing time order.
 func TestSchedulerOrderProperty(t *testing.T) {

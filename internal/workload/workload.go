@@ -27,6 +27,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"progresscap/internal/counters"
@@ -190,6 +191,12 @@ type Exec struct {
 	iter      int
 	iterStart time.Duration
 	done      bool
+
+	// at is the instant the executor has consumed up to (the anchor of
+	// the event-driven ConsumeTo/Span API). The legacy Step entry point
+	// does not maintain it; an executor is driven through exactly one of
+	// the two interfaces.
+	at time.Duration
 
 	// compBuf backs StepOutput.Completions across Step calls so the hot
 	// loop does not allocate one slice per completed iteration.
@@ -441,6 +448,117 @@ func (e *Exec) advance(now time.Duration) {
 		}
 	}
 	e.loadIteration(now)
+}
+
+// Span describes the execution mix from the executor's current anchor
+// (see At) forward, valid while the operating point stays fixed. It is
+// the workload's NextEventAt hook for the macro-stepping engine: the
+// aggregates are constant until Boundary, so the engine may integrate
+// power and counters over the whole stretch in one closed-form step.
+type Span struct {
+	// Engaged / Sleeping partition the ranks exactly as StepOutput does
+	// for any tick inside the stretch.
+	Engaged  int
+	Sleeping int
+	// ActivitySum is the summed active (compute or spin, vs memory stall)
+	// fraction over engaged ranks; Activity = ActivitySum/Engaged.
+	ActivitySum float64
+	// BWUtil is the aggregate uncore bandwidth demand in [0,1].
+	BWUtil float64
+	// Boundary is the earliest instant the composition changes: a rank
+	// leaving sleep, finishing its compute+memory segment, or the
+	// iteration completing. Valid only when HasBoundary; a done executor
+	// has none.
+	Boundary    time.Duration
+	HasBoundary bool
+}
+
+// At returns the instant the executor has consumed up to via ConsumeTo.
+func (e *Exec) At() time.Duration { return e.at }
+
+// boundaryIn converts a remaining-seconds estimate into an absolute
+// boundary instant, rounding up to the nanosecond grid so consuming up to
+// the boundary covers at least the full remainder. The 1 ns floor
+// guarantees forward progress: sub-nanosecond residue (from the rounding
+// itself) resolves on the next stride via the Step finish epsilons.
+func (e *Exec) boundaryIn(sec float64) time.Duration {
+	d := time.Duration(math.Ceil(sec * 1e9))
+	if d < 1 {
+		d = 1
+	}
+	return e.at + d
+}
+
+// Span computes the current stretch composition at the given operating
+// point. It is pure: repeated calls between ConsumeTo calls return
+// identical values, which is what makes the fixed-tick engine mode an
+// exact oracle for the macro-stepping mode.
+func (e *Exec) Span(effHz, memFactor float64) Span {
+	var sp Span
+	if e.done {
+		sp.Sleeping = len(e.ranks)
+		return sp
+	}
+	if effHz <= 0 || memFactor < 1 {
+		panic(fmt.Sprintf("workload: bad operating point effHz=%v memFactor=%v", effHz, memFactor))
+	}
+	bound := func(sec float64) {
+		b := e.boundaryIn(sec)
+		if !sp.HasBoundary || b < sp.Boundary {
+			sp.Boundary, sp.HasBoundary = b, true
+		}
+	}
+	for r := range e.ranks {
+		rs := &e.ranks[r]
+		switch {
+		case rs.finished:
+			// Barrier busy-wait until the slowest rank arrives.
+			sp.Engaged++
+			sp.ActivitySum++
+		case rs.remSleep > 0:
+			sp.Sleeping++
+			bound(rs.remSleep)
+		default:
+			sp.Engaged++
+			rc := rs.remCycles / effHz
+			rm := rs.remMem * memFactor
+			rt := rc + rm
+			if rt > 0 {
+				sp.ActivitySum += rc / rt
+				sp.BWUtil += (rm / rt) * rs.seg.BWShare
+				bound(rt)
+			} else {
+				// Residue below the finish epsilons: the next consume
+				// marks the rank finished; treat it as spinning.
+				sp.ActivitySum++
+				bound(0)
+			}
+		}
+	}
+	if sp.BWUtil > 1 {
+		sp.BWUtil = 1
+	}
+	return sp
+}
+
+// ConsumeTo advances the executor from its anchor to the absolute instant
+// to in a single analytic step, returning iterations completed exactly at
+// to. The caller must not advance past the Span boundary computed at the
+// same operating point — inside that stretch one Step over the whole
+// interval is arithmetically identical to any subdivision of it, because
+// each rank stays within one part (sleep, compute+memory, or spin) and
+// the consumed amounts are linear in elapsed time. Completions alias the
+// executor's internal buffer exactly as StepOutput.Completions does.
+func (e *Exec) ConsumeTo(to time.Duration, effHz, memFactor float64) []IterationEvent {
+	if to < e.at {
+		panic(fmt.Sprintf("workload: ConsumeTo moved backwards: at %v, asked for %v", e.at, to))
+	}
+	if to == e.at {
+		return nil
+	}
+	out := e.Step(to, to-e.at, effHz, memFactor)
+	e.at = to
+	return out.Completions
 }
 
 // SubsetPhase returns a copy of the workload containing only the named
