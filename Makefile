@@ -2,17 +2,18 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-race race soak bench bench-smoke bench-diff profile experiments figures clean
+.PHONY: all verify build vet test test-race race soak soak-short soak-restart bench bench-smoke bench-diff profile experiments figures clean
 
 # `make` with no target runs the pre-merge gate.
 .DEFAULT_GOAL := verify
 
-all: build vet test test-race soak bench-smoke
+all: build vet test test-race soak-restart soak bench-smoke
 
 # The one-command pre-merge gate: build, vet, the full suite under the
-# race detector, a single pass of every benchmark, and — whenever a
-# tracked baseline exists — the recorded-perf regression gate.
-verify: build vet test-race bench-smoke bench-diff
+# race detector, a short randomized scenario soak, a single pass of
+# every benchmark, and — whenever a tracked baseline exists — the
+# recorded-perf regression gate.
+verify: build vet test-race soak-short bench-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -32,11 +33,24 @@ test-race:
 # Back-compat alias for the old target name.
 race: test-race
 
+# Property soak: generate SEEDS randomized scenario specs and run each
+# under the invariant-oracle battery (budget, deadman revert, journal
+# replay, engine invariants, macro≡fixed-tick, progress). Failures are
+# shrunk to minimal repro specs under out/soak/, replayable with
+# `go run ./cmd/experiments -spec <file>`.
+SEEDS ?= 25
+soak:
+	$(GO) run ./cmd/soak -seeds $(SEEDS) -cachedir out/cache
+
+# The quick deterministic slice of the same soak that rides in `verify`.
+soak-short:
+	$(GO) run ./cmd/soak -seeds 12
+
 # Chaos-restart soak: kill the supervised policy daemon at randomized
 # times and assert recovery invariants, under the race detector.
 # SOAK_ITERS scales the loop (default 2 in-test; bump for longer soaks).
 SOAK_ITERS ?= 4
-soak:
+soak-restart:
 	SOAK_ITERS=$(SOAK_ITERS) $(GO) test -race -run TestChaosRestartSoak -v ./internal/experiments/
 
 # One benchmark per paper table/figure plus ablations and micro-benches.

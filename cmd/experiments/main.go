@@ -24,7 +24,41 @@ import (
 	"time"
 
 	"progresscap/internal/experiments"
+	"progresscap/internal/soak"
+	"progresscap/internal/spec"
 )
+
+// replaySpec runs one scenario spec file — typically a minimal repro
+// emitted by cmd/soak — under the same oracle battery the soak uses,
+// so a shrunk failure re-fails here deterministically. The deliberate
+// bug is re-armed from the environment (see soak.BugEnv) when the repro
+// was produced under it.
+func replaySpec(runner *experiments.Runner, path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	sc, err := spec.Decode(b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", path, err)
+		return 2
+	}
+	rep, err := soak.New(runner).RunScenario(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", path, err)
+		return 2
+	}
+	if rep.Failed() {
+		fmt.Printf("spec %s (%s): FAIL\n", sc.Name, rep.Hash)
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		return 1
+	}
+	fmt.Printf("spec %s (%s): ok\n", sc.Name, rep.Hash)
+	return 0
+}
 
 func main() {
 	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes,ext-partitions); empty = all")
@@ -36,6 +70,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each artifact's tables as CSV files into this directory")
 	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
 	fixedTick := flag.Bool("fixedtick", false, "run every engine in fixed-tick oracle mode instead of event-driven macro-stepping (validation; output is identical)")
+	specFile := flag.String("spec", "", "replay one scenario spec JSON (e.g. a soak repro) under the full oracle battery instead of generating artifacts; exits 1 on violation")
+	cacheDir := flag.String("cachedir", "", "back the run memo table with a disk cache in this directory, shared across invocations")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the suite) here")
 	flag.Parse()
@@ -66,6 +102,15 @@ func main() {
 	// One runner for the whole invocation: runs shared across artifacts
 	// (e.g. the Table 6 / Figure 4 characterizations) simulate once.
 	runner := experiments.NewRunner(*parallel)
+	if *cacheDir != "" {
+		if err := runner.EnableDiskCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *specFile != "" {
+		os.Exit(replaySpec(runner, *specFile))
+	}
 	opts := experiments.Options{
 		RunSeconds:      *seconds,
 		Reps:            *reps,
@@ -153,8 +198,8 @@ func main() {
 		}
 	}
 	st := runner.Stats()
-	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache, peak %d/%d workers, wall %s\n",
-		st.Executed, st.CacheHits, st.PeakWorkers, runner.Parallel(), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache (%d memo, %d disk), peak %d/%d workers, wall %s\n",
+		st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, st.PeakWorkers, runner.Parallel(), time.Since(start).Round(time.Millisecond))
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {

@@ -1,0 +1,152 @@
+// Command soak generates randomized scenario specs (internal/spec) and
+// executes each under the full invariant-oracle battery (internal/soak).
+// Any failing scenario is automatically shrunk to a locally minimal
+// reproduction and written to the output directory; replay it with
+//
+//	go run ./cmd/experiments -spec out/soak/<name>.json
+//
+// Usage:
+//
+//	soak [-seeds 25] [-seed 0] [-parallel N] [-cachedir DIR] [-out out/soak]
+//
+// With -seed set, exactly that one seed runs; otherwise seeds 1..-seeds
+// run, cluster scenarios and single-node scenarios mixed by the
+// generator. Single-node scenarios share one memoizing runner (and, with
+// -cachedir, a disk cache), so repeated invocations skip already-proven
+// specs. Setting the SOAK_BUG environment variable to a wattage arms a
+// deliberate budget-accounting bug — the self-test that proves the soak
+// finds and shrinks real violations end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"progresscap/internal/experiments"
+	"progresscap/internal/soak"
+	"progresscap/internal/spec"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 25, "number of generated scenarios (seeds 1..N)")
+	oneSeed := flag.Uint64("seed", 0, "run exactly this one generator seed (overrides -seeds)")
+	parallel := flag.Int("parallel", 0, "max concurrent scenarios (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cachedir", "", "disk result cache directory shared with cmd/experiments")
+	outDir := flag.String("out", filepath.Join("out", "soak"), "directory for shrunk minimal repros")
+	shrinkBudget := flag.Int("shrinkbudget", soak.DefaultShrinkBudget, "max scenario executions per shrink")
+	flag.Parse()
+
+	runner := experiments.NewRunner(*parallel)
+	if *cacheDir != "" {
+		if err := runner.EnableDiskCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	h := soak.New(runner)
+	if h.BugW != 0 {
+		fmt.Fprintf(os.Stderr, "soak: deliberate budget bug armed (+%g W)\n", h.BugW)
+	}
+
+	var list []uint64
+	if *oneSeed != 0 {
+		list = []uint64{*oneSeed}
+	} else {
+		for s := uint64(1); s <= uint64(*seeds); s++ {
+			list = append(list, s)
+		}
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = 4
+	}
+	type outcome struct {
+		sc  spec.Scenario
+		rep *soak.Report
+		err error
+	}
+	results := make([]outcome, len(list))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, seed := range list {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sc := spec.Generate(seed)
+			rep, err := h.RunScenario(sc)
+			results[i] = outcome{sc, rep, err}
+		}(i, seed)
+	}
+	wg.Wait()
+
+	exit := 0
+	clusterN, singleN, failures := 0, 0, 0
+	for i, seed := range list {
+		o := results[i]
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "soak: seed %d: %v\n", seed, o.err)
+			exit = 2
+			continue
+		}
+		if o.sc.Cluster() {
+			clusterN++
+		} else {
+			singleN++
+		}
+		if !o.rep.Failed() {
+			continue
+		}
+		failures++
+		exit = 1
+		fmt.Printf("seed %d (%s, %s): FAIL\n", seed, o.sc.Name, o.rep.Hash)
+		for _, v := range o.rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		// Shrink sequentially: repros should be minimal and deterministic,
+		// and failures are the rare path.
+		sr, err := h.Shrink(o.sc, o.rep, *shrinkBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: shrinking seed %d: %v\n", seed, err)
+			exit = 2
+			continue
+		}
+		min := sr.Scenario
+		fmt.Printf("  shrunk in %d runs to %d faults, %g s horizon, %d nodes%s\n",
+			sr.Runs, min.FaultCount(), min.HorizonSec, min.Fleet.Nodes,
+			map[bool]string{true: " (budget exhausted, may not be minimal)"}[sr.Exhausted])
+		for _, v := range sr.Report.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			exit = 2
+			continue
+		}
+		b, err := min.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: encoding repro for seed %d: %v\n", seed, err)
+			exit = 2
+			continue
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("repro-seed%d.json", seed))
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			exit = 2
+			continue
+		}
+		fmt.Printf("  minimal repro: %s (replay: go run ./cmd/experiments -spec %s)\n", path, path)
+	}
+
+	st := runner.Stats()
+	fmt.Fprintf(os.Stderr, "soak: %d scenarios (%d cluster, %d single), %d failing, %d runs executed, %d served from cache (%d memo, %d disk), wall %s\n",
+		len(list), clusterN, singleN, failures, st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, time.Since(start).Round(time.Millisecond))
+	os.Exit(exit)
+}

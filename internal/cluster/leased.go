@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"progresscap/internal/engine"
@@ -130,6 +131,9 @@ func (c *LeasedConfig) validate() error {
 	if c.Faults == nil {
 		c.Faults = fault.NewInjector(fault.Plan{})
 	}
+	if err := c.Faults.Plan().Validate(); err != nil {
+		return fmt.Errorf("cluster: invalid fault plan: %w", err)
+	}
 	return nil
 }
 
@@ -211,6 +215,16 @@ func (n *LeasedNode) Result() *engine.Result { return n.result }
 
 // Holder returns the node's lease state machine.
 func (n *LeasedNode) Holder() *lease.Holder { return n.holder }
+
+// Engine returns the node's plant.
+func (n *LeasedNode) Engine() *engine.Engine { return n.eng }
+
+// RegisterCapW decodes the cap currently latched in the node's RAPL
+// register (0 = uncapped) — the ground truth the soak oracles check
+// against the ledger and the budget.
+func (n *LeasedNode) RegisterCapW() (float64, error) {
+	return registerCapW(n.eng.Device())
+}
 
 // observedRate mirrors Manager.refresh's two-window smoothing.
 func (n *LeasedNode) observedRate() float64 {
@@ -387,6 +401,33 @@ func (lc *LeasedCluster) ensureResult() {
 	}
 }
 
+// Elapsed returns the virtual time the cluster has advanced through.
+func (lc *LeasedCluster) Elapsed() time.Duration { return lc.elapsed }
+
+// Nodes returns the cluster's nodes, in construction order.
+func (lc *LeasedCluster) Nodes() []*LeasedNode { return lc.nodes }
+
+// LeaseTTL returns the configured grant TTL (also every node's deadman
+// TTL), so oracles can bound the revert-to-safe-cap window.
+func (lc *LeasedCluster) LeaseTTL() time.Duration { return lc.cfg.LeaseTTL }
+
+// SafeCapW returns the quarantine cap nodes revert to.
+func (lc *LeasedCluster) SafeCapW() float64 { return lc.cfg.Cluster.QuarantineCapW }
+
+// ReplayGrants replays the shared manager journal and returns every
+// journaled grant plus the highest fencing epoch and sequence stamped
+// anywhere — the ledger view of the WAL. Because grants are journaled
+// before they are sent, every lease a node has ever enforced must appear
+// here; the soak journal oracle checks exactly that.
+func (lc *LeasedCluster) ReplayGrants() ([]lease.Lease, uint64, uint64, error) {
+	recs, err := lc.log.Replay()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	grants, maxEpoch, maxSeq := lease.FromRecords(recs)
+	return grants, maxEpoch, maxSeq, nil
+}
+
 // Done reports whether every node's workload has completed.
 func (lc *LeasedCluster) Done() bool {
 	for _, n := range lc.nodes {
@@ -486,6 +527,17 @@ func (lc *LeasedCluster) Step() (bool, error) {
 		}
 		if np := lc.cfg.Faults.Node(n.name); np != nil {
 			if np.Crashed(now) {
+				if !np.Crashed(now + Epoch) {
+					// The node reboots within this epoch. Its register comes
+					// back at the boot (safe) cap with a freshly armed
+					// deadman, exactly like initial construction — the
+					// pre-crash latched cap did not survive the crash, and
+					// its engine clock (frozen for the whole window) must not
+					// keep enforcing a cap whose lease charge expired.
+					if err := rapl.WriteLimitRetry(n.eng.Device(), lc.cfg.Cluster.QuarantineCapW, 10*time.Millisecond); err != nil {
+						return false, fmt.Errorf("cluster: reboot cap on %s: %w", n.name, err)
+					}
+				}
 				continue
 			}
 			if frac := np.FreqCeilingFrac(now); frac < 1 {
@@ -594,12 +646,27 @@ func (lc *LeasedCluster) grantCycle(m *leasedManager, budgetW float64, now time.
 	}
 	clampCaps(shares, divisible)
 
+	// Grants are floored to the RAPL register power unit before being
+	// charged: the register encodes caps by rounding to the nearest unit,
+	// so an unrepresentable grant would latch up to half a unit ABOVE its
+	// ledger charge — enough for Σ(registers) to poke over the budget the
+	// ledger says is respected. Flooring keeps hardware ≤ ledger exactly.
+	unit := msr.DefaultUnits().PowerUnit()
+
 	var grants []lease.Lease
 	for i, s := range statuses {
 		if s.Done || s.Failed {
 			continue // no renewal: the node decays to the safe cap
 		}
-		l, ok := m.arb.Grant(s.Name, safeCap+shares[i], lc.cfg.LeaseTTL, now)
+		capReq := math.Floor((safeCap+shares[i])/unit) * unit
+		// A grant above the firmware reset cap is fictional — the node
+		// cannot draw it, and a register programmed above TDP is a no-op
+		// disguised as an allocation. Concentrating a large budget on the
+		// few unfenced nodes (everyone else quarantined) hits this.
+		if capReq > rapl.FirmwareDefaultCapW {
+			capReq = rapl.FirmwareDefaultCapW
+		}
+		l, ok := m.arb.Grant(s.Name, capReq, lc.cfg.LeaseTTL, now)
 		if !ok {
 			continue
 		}
@@ -642,6 +709,12 @@ func (lc *LeasedCluster) deliver(m *leasedManager, grants []lease.Lease, now tim
 	for _, g := range grants {
 		n := lc.byName[g.Node]
 		if n == nil {
+			continue
+		}
+		// A crashed node is unreachable: the grant stays charged in the
+		// journal but nothing latches it, same as a partition eating it.
+		if np := lc.cfg.Faults.Node(g.Node); np != nil && np.Crashed(now) {
+			lc.res.UndeliveredGrants++
 			continue
 		}
 		if links.Cut(m.name, g.Node, now) {

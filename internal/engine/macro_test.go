@@ -2,73 +2,21 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"progresscap/internal/apps"
-	"progresscap/internal/counters"
 	"progresscap/internal/fault"
 	"progresscap/internal/policy"
 	"progresscap/internal/rapl"
-	"progresscap/internal/trace"
 	"progresscap/internal/workload"
 )
 
-// resultSig flattens every observable field of a Result — scalars, all
-// per-window samples, every trace point, counter deltas, drop accounting —
-// into one string, bit-exact for floats. Two runs are "the same run"
-// exactly when their signatures match.
-func resultSig(res *Result) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%v|%v|%b|%b|%b|%d\n",
-		res.Workload, res.Elapsed, res.Completed, res.EnergyJ, res.DRAMEnergyJ, res.WorkUnits, res.Dropped)
-	topics := make([]string, 0, len(res.DropsByTopic))
-	for k := range res.DropsByTopic {
-		topics = append(topics, k)
-	}
-	sort.Strings(topics)
-	for _, k := range topics {
-		fmt.Fprintf(&b, "drop %s=%d\n", k, res.DropsByTopic[k])
-	}
-	for _, s := range res.Samples {
-		fmt.Fprintf(&b, "s %v %b %d %s\n", s.At, s.Rate, s.Reports, s.Phase)
-	}
-	evs := make([]counters.Event, 0, len(res.Counters.Deltas))
-	for ev := range res.Counters.Deltas {
-		evs = append(evs, ev)
-	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
-	for _, ev := range evs {
-		fmt.Fprintf(&b, "c %s=%d\n", ev, res.Counters.Deltas[ev])
-	}
-	dump := func(name string, s *trace.Series) {
-		if s == nil {
-			return
-		}
-		fmt.Fprintf(&b, "t %s", name)
-		for _, p := range s.Points() {
-			fmt.Fprintf(&b, " %v:%b", p.T, p.V)
-		}
-		b.WriteByte('\n')
-	}
-	dump("power", res.PowerTrace)
-	dump("core", res.CoreTrace)
-	dump("freq", res.FreqTrace)
-	dump("duty", res.DutyTrace)
-	dump("bw", res.BWTrace)
-	dump("rate", res.RateTrace)
-	dump("cap", res.CapTrace)
-	for _, j := range res.Jobs {
-		fmt.Fprintf(&b, "j %s %v %b %d", j.Workload, j.Completed, j.WorkUnits, len(j.Samples))
-		for _, rl := range j.RankLoads {
-			fmt.Fprintf(&b, " %b/%b/%b", rl.WorkSeconds, rl.SpinSeconds, rl.SleepSeconds)
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
+// resultSig is the exported Result.Signature (see signature.go): every
+// observable field flattened into one string, bit-exact for floats. Two
+// runs are "the same run" exactly when their signatures match.
+func resultSig(res *Result) string { return res.Signature() }
 
 // macroScenario builds one engine per invocation so the two modes never
 // share mutable state.

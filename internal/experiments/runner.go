@@ -2,16 +2,15 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"progresscap/internal/engine"
+	"progresscap/internal/fault"
 	"progresscap/internal/policy"
-	"progresscap/internal/simtime"
+	"progresscap/internal/spec"
 	"progresscap/internal/workload"
 )
 
@@ -40,85 +39,50 @@ type RunSpec struct {
 	// differential test never collapses the two modes onto one cached
 	// result.
 	FixedTick bool
+	// Faults is the run's fault plan; a disabled (zero) plan runs the
+	// engine faultless. Part of the memoization key: a faulted run and a
+	// clean run are different runs.
+	Faults fault.Plan
 }
 
-// key returns the canonical memoization key: a fingerprint of the
-// workload's construction (name, metric, ranks, phase structure, and
-// generator output probed at fixed corner coordinates with a fixed RNG)
-// combined with the operating point, seed, and duration. Two specs with
-// equal keys describe byte-identical simulations.
+// operatingKey renders the run's operating point for the fingerprint:
+// "dvfs:<mhz>", "scheme:<type+params>", or "uncapped". The %T+%+v scheme
+// rendering is exhaustive over the concrete policy types, all of which
+// are flat parameter structs.
+func (s RunSpec) operatingKey() string {
+	switch {
+	case s.DVFSMHz > 0:
+		return fmt.Sprintf("dvfs:%g", s.DVFSMHz)
+	case s.Scheme != nil:
+		return fmt.Sprintf("scheme:%T%+v", s.Scheme, s.Scheme)
+	default:
+		return "uncapped"
+	}
+}
+
+// key returns the canonical memoization key: the content hash of the
+// run's spec.RunFingerprint — the workload's construction fingerprint
+// (declarative fields plus generator corner probes) combined with the
+// operating point, seed, duration, mode flags, and fault plan. Two specs
+// with equal keys describe byte-identical simulations, and the same hash
+// names the run in the shared disk cache, so suite runs and CI converge
+// on one copy of each result.
 func (s RunSpec) key() string {
-	h := fnv.New64a()
-	var scratch [8]byte
-	put64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			scratch[i] = byte(v >> (8 * i))
-		}
-		h.Write(scratch[:])
-	}
-	putF := func(f float64) { put64(math.Float64bits(f)) }
-	putS := func(str string) {
-		put64(uint64(len(str)))
-		h.Write([]byte(str))
-	}
-
 	w := s.Make()
-	putS(w.Name)
-	putS(w.Metric)
-	put64(uint64(w.Ranks))
-	// Probe each phase's generator at corner coordinates with a fixed,
-	// throwaway RNG: deterministic per construction, and sensitive to any
-	// parameter (jitter amplitude, segment split) the declarative fields
-	// don't expose. Rank 0 is probed first within each iteration because
-	// the shared-jitter closures re-draw there, resetting their state.
-	probeRNG := simtime.NewRNG(0x9e3779b97f4a7c15)
-	for _, p := range w.Phases {
-		putS(p.Name)
-		put64(uint64(p.Iterations))
-		putF(p.ProgressPerIter)
-		iters := []int{0}
-		if p.Iterations > 1 {
-			iters = append(iters, p.Iterations-1)
-		}
-		ranks := []int{0}
-		if w.Ranks > 1 {
-			ranks = append(ranks, 1, w.Ranks-1)
-		}
-		for _, it := range iters {
-			for _, r := range ranks {
-				seg := p.Gen(r, it, probeRNG)
-				putF(seg.ComputeCycles)
-				putF(seg.MemSeconds)
-				putF(seg.SleepSeconds)
-				putF(seg.Instructions)
-				putF(seg.L3Misses)
-				putF(seg.BWShare)
-				putF(seg.WorkUnits)
-			}
-		}
+	fp := spec.RunFingerprint{
+		Version:    spec.Version,
+		Workload:   spec.FingerprintWorkload(w),
+		Operating:  s.operatingKey(),
+		Seed:       s.Seed,
+		MaxSeconds: s.MaxSeconds,
+		Invariants: s.Invariants,
+		FixedTick:  s.FixedTick,
 	}
-
-	if s.DVFSMHz > 0 {
-		putS("dvfs")
-		putF(s.DVFSMHz)
-	} else if s.Scheme != nil {
-		putS(fmt.Sprintf("%T%+v", s.Scheme, s.Scheme))
-	} else {
-		putS("uncapped")
+	if s.Faults.Enabled() {
+		plan := s.Faults
+		fp.Faults = &plan
 	}
-	put64(s.Seed)
-	putF(s.MaxSeconds)
-	if s.Invariants {
-		put64(1)
-	} else {
-		put64(0)
-	}
-	if s.FixedTick {
-		put64(1)
-	} else {
-		put64(0)
-	}
-	return fmt.Sprintf("%s/%016x", w.Name, h.Sum64())
+	return fmt.Sprintf("%s/%s", w.Name, fp.Hash())
 }
 
 // runEntry is one memoized run: created exactly once per key, its done
@@ -134,6 +98,7 @@ type runEntry struct {
 type RunnerStats struct {
 	Executed    uint64 // simulations actually run
 	CacheHits   uint64 // Do calls served from a memoized or in-flight run
+	DiskHits    uint64 // runs served from the disk cache instead of executing
 	PeakWorkers int    // maximum simulations in flight at once
 }
 
@@ -150,8 +115,13 @@ type Runner struct {
 	mu      sync.Mutex
 	entries map[string]*runEntry
 
+	// cacheDir, when non-empty, backs the memo table with a disk cache
+	// keyed by the run's content hash (see EnableDiskCache).
+	cacheDir string
+
 	executed atomic.Uint64
 	hits     atomic.Uint64
+	diskHits atomic.Uint64
 	active   atomic.Int64
 	peak     atomic.Int64
 }
@@ -176,6 +146,7 @@ func (r *Runner) Stats() RunnerStats {
 	return RunnerStats{
 		Executed:    r.executed.Load(),
 		CacheHits:   r.hits.Load(),
+		DiskHits:    r.diskHits.Load(),
 		PeakWorkers: int(r.peak.Load()),
 	}
 }
@@ -199,7 +170,7 @@ func (r *Runner) Do(spec RunSpec) (*engine.Result, error) {
 	key := spec.key()
 	e, created := r.claim(key, false)
 	if created {
-		r.execute(spec, e)
+		r.execute(spec, key, e)
 	} else {
 		// A generator prefetching its own runs and then collecting them is
 		// plumbing, not cache effectiveness; only count hits beyond the
@@ -226,12 +197,12 @@ func (r *Runner) Prefetch(spec RunSpec) {
 	if !created {
 		return
 	}
-	go r.execute(spec, e)
+	go r.execute(spec, key, e)
 }
 
 // execute runs the simulation under the worker-pool bound and publishes
-// the result.
-func (r *Runner) execute(spec RunSpec, e *runEntry) {
+// the result, consulting the disk cache (when enabled) first.
+func (r *Runner) execute(spec RunSpec, key string, e *runEntry) {
 	r.sem <- struct{}{}
 	if n := r.active.Add(1); n > r.peak.Load() {
 		// Benign race on the max: two concurrent updates both exceed the
@@ -249,8 +220,16 @@ func (r *Runner) execute(spec RunSpec, e *runEntry) {
 		close(e.done)
 	}()
 
+	if res, ok := r.loadCached(key); ok {
+		e.res = res
+		r.diskHits.Add(1)
+		return
+	}
 	e.res, e.err = runOnce(spec)
 	r.executed.Add(1)
+	if e.err == nil {
+		r.saveCached(key, e.res)
+	}
 }
 
 // runOnce performs one simulation from scratch: the single execution path
@@ -266,6 +245,9 @@ func runOnce(spec RunSpec) (*engine.Result, error) {
 	}
 	if spec.Invariants {
 		eng.EnableInvariants(engine.InvariantConfig{})
+	}
+	if spec.Faults.Enabled() {
+		eng.SetFaults(fault.NewInjector(spec.Faults))
 	}
 	switch {
 	case spec.DVFSMHz > 0:

@@ -151,6 +151,13 @@ type Plan struct {
 	Managers map[string]ManagerPlan
 }
 
+// Enabled reports whether the plan injects anything at all. A zero Plan
+// (modulo Seed) is disabled and behaves exactly like running faultless.
+func (p Plan) Enabled() bool {
+	return p.PubSub.Enabled() || p.MSR.Enabled() || p.Counters.Enabled() ||
+		len(p.Nodes) > 0 || len(p.Partitions) > 0 || len(p.Managers) > 0
+}
+
 // Injector instantiates a Plan's per-class fault generators.
 type Injector struct {
 	plan     Plan

@@ -1,0 +1,61 @@
+package soak
+
+// Automatic shrinking: greedy descent over spec.ShrinkSteps. Each
+// candidate changes exactly one thing and is strictly simpler, so
+// re-running the first still-failing candidate and recursing reaches a
+// fixpoint — a locally minimal scenario that still reproduces the
+// violation — in finitely many runs.
+
+import "progresscap/internal/spec"
+
+// DefaultShrinkBudget bounds how many scenario executions one shrink may
+// spend. Generated scenarios carry a couple dozen shrink candidates, so
+// a few hundred runs is several full descents deep.
+const DefaultShrinkBudget = 200
+
+// ShrinkResult is the outcome of shrinking one failing scenario.
+type ShrinkResult struct {
+	// Scenario is the minimal reproducing scenario found.
+	Scenario spec.Scenario
+	// Report is the failing report of that minimal scenario.
+	Report *Report
+	// Runs is how many scenario executions the shrink spent.
+	Runs int
+	// Exhausted is true when the run budget stopped the descent before a
+	// fixpoint (the result still fails, but may not be minimal).
+	Exhausted bool
+}
+
+// Shrink reduces a failing scenario to a locally minimal reproduction:
+// no single ShrinkSteps candidate of the result still fails. The failing
+// report for sc must be supplied (it becomes the fallback result); runs
+// are bounded by budget (<= 0 means DefaultShrinkBudget).
+func (h *Harness) Shrink(sc spec.Scenario, failing *Report, budget int) (*ShrinkResult, error) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	out := &ShrinkResult{Scenario: sc, Report: failing}
+	for {
+		improved := false
+		for _, cand := range out.Scenario.ShrinkSteps() {
+			if out.Runs >= budget {
+				out.Exhausted = true
+				return out, nil
+			}
+			rep, err := h.RunScenario(cand)
+			out.Runs++
+			if err != nil {
+				return nil, err
+			}
+			if rep.Failed() {
+				out.Scenario = cand
+				out.Report = rep
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return out, nil
+		}
+	}
+}

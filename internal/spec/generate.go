@@ -1,0 +1,199 @@
+package spec
+
+// The seeded scenario generator: Generate(seed) is a pure function from
+// seed to a valid Scenario, so a soak run is exactly reproducible from
+// its base seed and a failing seed can be replayed in isolation. The
+// generator draws from the same distributions the curated suites cover —
+// single capped nodes under transport/MSR/counter faults, and leased
+// clusters under partitions, manager kills/pauses, and node
+// crash/slowdown — but composes them freely, which is the point: it
+// reaches corners no hand-authored schedule does.
+
+import (
+	"fmt"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/fault"
+	"progresscap/internal/simtime"
+)
+
+// generated scenarios keep horizons short: soak throughput matters more
+// than per-scenario depth, and the shrinker prefers short repros anyway.
+const (
+	genMinClusterEpochs = 14
+	genMaxClusterEpochs = 26
+	genMinSingleSec     = 6
+	genMaxSingleSec     = 12
+)
+
+// Generate returns the valid scenario deterministically derived from
+// seed. Roughly 60% of scenarios are leased clusters (2–4 nodes under
+// partition/manager/node faults); the rest are single capped engines
+// under transport/MSR/counter faults.
+func Generate(seed uint64) Scenario {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := simtime.NewRNG(seed)
+	s := Scenario{
+		Version: Version,
+		Name:    fmt.Sprintf("gen-%016x", seed),
+		Seed:    seed,
+	}
+	if rng.Float64() < 0.6 {
+		generateCluster(&s, rng)
+	} else {
+		generateSingle(&s, rng)
+	}
+	if err := s.Validate(); err != nil {
+		// The generator's distributions are constructed to always produce
+		// valid scenarios; a violation is a bug in this file.
+		panic(fmt.Sprintf("spec: Generate(%d) produced an invalid scenario: %v", seed, err))
+	}
+	return s
+}
+
+func pickSec(rng *simtime.RNG, lo, hi int) float64 {
+	return float64(lo + rng.Intn(hi-lo+1))
+}
+
+func pickApp(rng *simtime.RNG) string {
+	names := apps.RunnableNames()
+	return names[rng.Intn(len(names))]
+}
+
+func generateSingle(s *Scenario, rng *simtime.RNG) {
+	dur := pickSec(rng, genMinSingleSec, genMaxSingleSec)
+	s.HorizonSec = dur + 2 // slack so completion, not the horizon, usually ends the run
+	s.Workloads = []WorkloadSpec{{App: pickApp(rng), Seconds: dur}}
+	s.Fleet = FleetSpec{Nodes: 1}
+
+	// Operating point: mostly schemes (the paper's three plus constant),
+	// occasionally pinned DVFS, occasionally uncapped.
+	switch rng.Intn(8) {
+	case 0:
+		s.Operating.DVFSMHz = float64(1200 + 100*rng.Intn(13)) // 1200..2400
+	case 1:
+		// uncapped
+	case 2, 3:
+		s.Operating.Scheme = SchemeSpec{Kind: "constant", Watts: float64(70 + 10*rng.Intn(8))}
+	case 4:
+		s.Operating.Scheme = SchemeSpec{
+			Kind: "linear", DelaySec: pickSec(rng, 1, 3),
+			StartW: 150, MinW: float64(60 + 10*rng.Intn(4)), RateWPerSec: float64(5 + rng.Intn(11)),
+		}
+	case 5, 6:
+		s.Operating.Scheme = SchemeSpec{
+			Kind: "step", HighW: 0, LowW: float64(60 + 10*rng.Intn(5)),
+			HighForSec: pickSec(rng, 1, 3), LowForSec: pickSec(rng, 1, 3),
+		}
+	case 7:
+		s.Operating.Scheme = SchemeSpec{
+			Kind: "jagged", StartW: 150, LowW: float64(60 + 10*rng.Intn(5)),
+			FallForSec: pickSec(rng, 2, 4), UncappedSec: pickSec(rng, 1, 2),
+		}
+	}
+
+	s.Faults = fault.Plan{Seed: rng.Uint64() | 1}
+	// Transport faults: the degraded-signal regime the NRM and monitor
+	// are hardened against. Rates stay moderate so the run remains
+	// measurable (oracles need some signal to check).
+	if rng.Intn(2) == 0 {
+		s.Faults.PubSub.DropRate = 0.05 * float64(rng.Intn(5)) // 0..0.20
+		s.Faults.PubSub.DelayRate = 0.05 * float64(rng.Intn(4))
+		if s.Faults.PubSub.DelayRate > 0 {
+			s.Faults.PubSub.MaxDelay = time.Duration(50+50*rng.Intn(4)) * time.Millisecond
+		}
+		s.Faults.PubSub.DupRate = 0.05 * float64(rng.Intn(3))
+	}
+	if rng.Intn(4) == 0 {
+		from := secs(pickSec(rng, 2, int(dur)-2))
+		s.Faults.PubSub.Blackouts = []fault.Window{{From: from, To: from + secs(pickSec(rng, 1, 2))}}
+	}
+	if rng.Intn(3) == 0 {
+		s.Faults.MSR.StaleReadRate = 0.02 * float64(rng.Intn(4))
+		s.Faults.MSR.ReadEIORate = 0.01 * float64(rng.Intn(3))
+	}
+	if rng.Intn(4) == 0 {
+		s.Faults.MSR.EnergyWrapRaw = (1 << 32) - uint64(1000000*(1+rng.Intn(10)))
+	}
+	if rng.Intn(4) == 0 {
+		s.Faults.Counters.GlitchRate = 0.01 * float64(1+rng.Intn(3))
+		s.Faults.Counters.GlitchScale = 1024
+	}
+}
+
+func generateCluster(s *Scenario, rng *simtime.RNG) {
+	nodes := 2 + rng.Intn(3) // 2..4
+	epochs := genMinClusterEpochs + rng.Intn(genMaxClusterEpochs-genMinClusterEpochs+1)
+	s.HorizonSec = float64(epochs)
+	s.Fleet = FleetSpec{
+		Nodes:          nodes,
+		QuarantineCapW: 40,
+		BudgetW:        float64(nodes) * float64(70+10*rng.Intn(5)), // 70..110 W per node
+		LeaseTTLEpochs: 2 + rng.Intn(3),                             // 2..4
+		FailoverEpochs: 1 + rng.Intn(2),                             // 1..2
+	}
+	// Mix 1–2 applications across the fleet, sized past the horizon so
+	// nodes stay busy (and granted) for the whole run.
+	mix := 1 + rng.Intn(2)
+	for i := 0; i < mix; i++ {
+		s.Workloads = append(s.Workloads, WorkloadSpec{App: pickApp(rng), Seconds: float64(epochs + 10)})
+	}
+
+	plan := fault.Plan{Seed: rng.Uint64() | 1, Managers: map[string]fault.ManagerPlan{}, Nodes: map[string]fault.NodePlan{}}
+	sec := func(lo, hi int) time.Duration { return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Second }
+
+	// Manager faults mirror the distributed-safety property test: kill,
+	// clean pause, or a pause offset half an epoch so it tears a send.
+	for _, mgr := range []string{PrimaryManager, StandbyManager} {
+		switch rng.Intn(4) {
+		case 0, 1: // healthy
+		case 2:
+			plan.Managers[mgr] = fault.ManagerPlan{KillAt: sec(3, epochs-4)}
+		case 3:
+			at := sec(3, epochs-8)
+			if rng.Intn(2) == 0 {
+				at += 500 * time.Millisecond
+			}
+			plan.Managers[mgr] = fault.ManagerPlan{PauseAt: at, ResumeAt: at + sec(3, 6)}
+		}
+	}
+
+	for _, name := range s.NodeNames() {
+		switch rng.Intn(6) {
+		case 0: // crash, maybe reboot
+			np := fault.NodePlan{CrashAt: sec(3, epochs-6)}
+			if rng.Intn(2) == 0 {
+				np.RecoverAt = np.CrashAt + sec(3, 5)
+			}
+			plan.Nodes[name] = np
+		case 1: // thermal slowdown
+			plan.Nodes[name] = fault.NodePlan{SlowAt: sec(2, epochs-4), SlowFactor: 0.4 + 0.2*float64(rng.Intn(3))}
+		}
+		// Independent of node-local faults, the node may be partitioned
+		// away from one or both managers for a window.
+		if rng.Intn(3) == 0 {
+			from := sec(2, epochs-8)
+			p := fault.Partition{
+				Window:     fault.Window{From: from, To: from + sec(3, 7)},
+				A:          []string{name},
+				Asymmetric: rng.Intn(3) == 0,
+			}
+			if rng.Intn(2) == 0 {
+				p.B = []string{PrimaryManager, StandbyManager}
+			} else {
+				p.B = []string{PrimaryManager}
+			}
+			plan.Partitions = append(plan.Partitions, p)
+		}
+	}
+	if len(plan.Managers) == 0 {
+		plan.Managers = nil
+	}
+	if len(plan.Nodes) == 0 {
+		plan.Nodes = nil
+	}
+	s.Faults = plan
+}

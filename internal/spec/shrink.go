@@ -1,0 +1,159 @@
+package spec
+
+// Shrink candidates: strictly simpler variants of a scenario, tried in
+// order by the soak shrinker (internal/soak.Shrink) until none of them
+// still reproduces the violation. "Simpler" means fewer faults, a
+// shorter horizon, a smaller fleet, fewer workloads — each candidate
+// changes exactly one thing, so the fixpoint is a locally minimal repro.
+
+import "progresscap/internal/fault"
+
+// minShrinkHorizonSec is the shortest horizon shrinking will propose:
+// cluster scenarios need a couple of manager epochs to grant anything,
+// and single-node runs need a progress window or two to observe.
+const minShrinkHorizonSec = 3
+
+// ShrinkSteps returns simpler candidate scenarios in decreasing order of
+// aggressiveness (big structural cuts first, individual fault knobs
+// last). Every candidate validates; candidates that would cross the
+// single/cluster mode boundary are not proposed, so a cluster repro
+// stays a cluster repro.
+func (s Scenario) ShrinkSteps() []Scenario {
+	var out []Scenario
+	propose := func(c Scenario) {
+		if c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+
+	// 1. Halve the horizon (and any blackout/partition windows the cut
+	// would strand wholly past the end are dropped by their own steps).
+	if half := s.HorizonSec / 2; half >= minShrinkHorizonSec {
+		c := s
+		c.HorizonSec = float64(int(half))
+		propose(c)
+	}
+
+	// 2. Shrink the fleet, preserving per-node budget share.
+	if s.Cluster() && s.Fleet.Nodes > 2 {
+		c := s
+		perNode := s.Fleet.BudgetW / float64(s.Fleet.Nodes)
+		c.Fleet.Nodes = s.Fleet.Nodes - 1
+		c.Fleet.BudgetW = perNode * float64(c.Fleet.Nodes)
+		// Fault plans referencing the removed node must go with it.
+		dropped := s.NodeNames()[s.Fleet.Nodes-1]
+		c.Faults = dropActor(c.Faults, dropped)
+		propose(c)
+	}
+
+	// 3. Collapse the workload mix to its first entry.
+	if len(s.Workloads) > 1 {
+		c := s
+		c.Workloads = s.Workloads[:1]
+		propose(c)
+	}
+
+	// 4. Remove whole fault-plan entries, one at a time.
+	for i := range s.Faults.Partitions {
+		c := s
+		c.Faults.Partitions = append(append([]fault.Partition(nil), s.Faults.Partitions[:i]...), s.Faults.Partitions[i+1:]...)
+		if len(c.Faults.Partitions) == 0 {
+			c.Faults.Partitions = nil
+		}
+		propose(c)
+	}
+	for name := range s.Faults.Managers {
+		c := s
+		c.Faults.Managers = copyManagers(s.Faults.Managers)
+		delete(c.Faults.Managers, name)
+		if len(c.Faults.Managers) == 0 {
+			c.Faults.Managers = nil
+		}
+		propose(c)
+	}
+	for name := range s.Faults.Nodes {
+		c := s
+		c.Faults.Nodes = copyNodes(s.Faults.Nodes)
+		delete(c.Faults.Nodes, name)
+		if len(c.Faults.Nodes) == 0 {
+			c.Faults.Nodes = nil
+		}
+		propose(c)
+	}
+
+	// 5. Zero individual fault classes.
+	if s.Faults.PubSub.Enabled() {
+		c := s
+		c.Faults.PubSub = fault.PubSubPlan{}
+		propose(c)
+	}
+	if s.Faults.MSR.Enabled() {
+		c := s
+		c.Faults.MSR = fault.MSRPlan{}
+		propose(c)
+	}
+	if s.Faults.Counters.Enabled() {
+		c := s
+		c.Faults.Counters = fault.CounterPlan{}
+		propose(c)
+	}
+
+	// 6. Drop the operating point back to uncapped.
+	if !s.Operating.Scheme.Uncapped() || s.Operating.DVFSMHz != 0 {
+		c := s
+		c.Operating = OperatingPoint{}
+		propose(c)
+	}
+
+	return out
+}
+
+// dropActor removes every fault-plan reference to the named actor:
+// its node plan, and its membership in partition sides (partitions left
+// with an empty side are dropped entirely).
+func dropActor(p fault.Plan, name string) fault.Plan {
+	if p.Nodes != nil {
+		p.Nodes = copyNodes(p.Nodes)
+		delete(p.Nodes, name)
+		if len(p.Nodes) == 0 {
+			p.Nodes = nil
+		}
+	}
+	var parts []fault.Partition
+	for _, part := range p.Partitions {
+		part.A = without(part.A, name)
+		part.B = without(part.B, name)
+		if len(part.A) == 0 || len(part.B) == 0 {
+			continue
+		}
+		parts = append(parts, part)
+	}
+	p.Partitions = parts
+	return p
+}
+
+func without(names []string, drop string) []string {
+	var out []string
+	for _, n := range names {
+		if n != drop {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func copyManagers(m map[string]fault.ManagerPlan) map[string]fault.ManagerPlan {
+	out := make(map[string]fault.ManagerPlan, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyNodes(m map[string]fault.NodePlan) map[string]fault.NodePlan {
+	out := make(map[string]fault.NodePlan, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

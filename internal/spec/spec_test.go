@@ -1,0 +1,338 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"progresscap/internal/fault"
+)
+
+// testScenario is a hand-built cluster scenario exercising every spec
+// section; the golden test pins its canonical encoding and hash.
+func testScenario() Scenario {
+	return Scenario{
+		Version:    Version,
+		Name:       "representative",
+		Seed:       42,
+		HorizonSec: 20,
+		Workloads: []WorkloadSpec{
+			{App: "LAMMPS", Seconds: 30},
+			{App: "STREAM", Seconds: 30},
+		},
+		Fleet: FleetSpec{
+			Nodes:          3,
+			BudgetW:        300,
+			QuarantineCapW: 40,
+			LeaseTTLEpochs: 3,
+			FailoverEpochs: 2,
+		},
+		Faults: fault.Plan{
+			Seed: 7,
+			PubSub: fault.PubSubPlan{
+				DropRate: 0.1,
+				MaxDelay: 200 * time.Millisecond,
+			},
+			Nodes: map[string]fault.NodePlan{
+				"n1": {CrashAt: 8 * time.Second, RecoverAt: 14 * time.Second},
+			},
+			Managers: map[string]fault.ManagerPlan{
+				PrimaryManager: {PauseAt: 6*time.Second + 500*time.Millisecond, ResumeAt: 12 * time.Second},
+			},
+			Partitions: []fault.Partition{{
+				Window: fault.Window{From: 8 * time.Second, To: 14 * time.Second},
+				A:      []string{"n2"},
+				B:      []string{PrimaryManager, StandbyManager},
+			}},
+		},
+	}
+}
+
+func TestRepresentativeScenarioValidates(t *testing.T) {
+	if err := testScenario().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := testScenario()
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"wrong version", func(s *Scenario) { s.Version = 99 }, "version"},
+		{"zero seed", func(s *Scenario) { s.Seed = 0 }, "seed 0"},
+		{"zero horizon", func(s *Scenario) { s.HorizonSec = 0 }, "horizon"},
+		{"huge horizon", func(s *Scenario) { s.HorizonSec = 1e6 }, "horizon"},
+		{"no workloads", func(s *Scenario) { s.Workloads = nil }, "no workloads"},
+		{"unknown app", func(s *Scenario) { s.Workloads[0].App = "DOOM" }, "unknown application"},
+		{"unbuildable app", func(s *Scenario) { s.Workloads[0].App = "HACC" }, "no workload model"},
+		{"no nodes", func(s *Scenario) { s.Fleet.Nodes = 0 }, "at least one node"},
+		{"cluster scheme", func(s *Scenario) { s.Operating.Scheme = SchemeSpec{Kind: "constant", Watts: 100} }, "no operating point"},
+		{"budget under floor", func(s *Scenario) { s.Fleet.BudgetW = 100 }, "quarantine floor"},
+		{"unknown fault node", func(s *Scenario) {
+			s.Faults.Nodes = map[string]fault.NodePlan{"n9": {CrashAt: time.Second}}
+		}, "unknown node"},
+		{"unknown manager", func(s *Scenario) {
+			s.Faults.Managers = map[string]fault.ManagerPlan{"m7": {KillAt: time.Second}}
+		}, "unknown manager"},
+		{"unknown partition actor", func(s *Scenario) {
+			s.Faults.Partitions[0].A = []string{"n99"}
+		}, "unknown actor"},
+		{"bad fault window", func(s *Scenario) {
+			s.Faults.Partitions[0].Window = fault.Window{From: 4 * time.Second, To: 4 * time.Second}
+		}, "empty or inverted"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := base
+			// Deep-enough copies for the mutations above.
+			s.Workloads = append([]WorkloadSpec(nil), base.Workloads...)
+			s.Faults.Partitions = append([]fault.Partition(nil), base.Faults.Partitions...)
+			s.Faults.Partitions[0].A = append([]string(nil), base.Faults.Partitions[0].A...)
+			c.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("mutation should invalidate the scenario")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateSingleNodeConstraints(t *testing.T) {
+	s := Scenario{
+		Version:    Version,
+		Seed:       3,
+		HorizonSec: 10,
+		Workloads:  []WorkloadSpec{{App: "AMG", Seconds: 8}},
+		Operating:  OperatingPoint{Scheme: SchemeSpec{Kind: "constant", Watts: 100}},
+		Fleet:      FleetSpec{Nodes: 1},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.Faults.Partitions = []fault.Partition{{
+		Window: fault.Window{From: time.Second, To: 2 * time.Second},
+		A:      []string{"n0"}, B: []string{PrimaryManager},
+	}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "single-node") {
+		t.Fatalf("partitions on a single-node scenario should be rejected, got %v", err)
+	}
+	bad = s
+	bad.Fleet.BudgetW = 100
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "single-node") {
+		t.Fatalf("budget on a single-node scenario should be rejected, got %v", err)
+	}
+	bad = s
+	bad.Operating.DVFSMHz = 2000
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("DVFS plus scheme should be rejected, got %v", err)
+	}
+}
+
+// TestGenerateValidAndDeterministic sweeps a block of seeds: every
+// generated scenario validates, and regenerating from the same seed is
+// bit-identical (the property soak reproducibility rests on).
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	clusters, singles := 0, 0
+	for seed := uint64(1); seed <= 300; seed++ {
+		s := Generate(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		again := Generate(seed)
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+		h1, err := s.Hash()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		h2, _ := again.Hash()
+		if h1 != h2 {
+			t.Fatalf("seed %d: hash differs across identical generations", seed)
+		}
+		if s.Cluster() {
+			clusters++
+		} else {
+			singles++
+		}
+	}
+	if clusters == 0 || singles == 0 {
+		t.Fatalf("generator collapsed to one mode: %d clusters, %d singles", clusters, singles)
+	}
+}
+
+// TestGenerateSeedsDiffer guards against the generator ignoring its
+// seed (every seed hashing identically would quietly gut the soak).
+func TestGenerateSeedsDiffer(t *testing.T) {
+	seen := map[string]uint64{}
+	for seed := uint64(1); seed <= 50; seed++ {
+		h, err := Generate(seed).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("seeds %d and %d generate the same scenario", prev, seed)
+		}
+		seen[h] = seed
+	}
+}
+
+// TestShrinkStepsValidAndSimpler: every candidate validates, stays in
+// the same mode, and is strictly simpler by at least one measure.
+func TestShrinkStepsValidAndSimpler(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		s := Generate(seed)
+		for i, c := range s.ShrinkSteps() {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("seed %d candidate %d: %v", seed, i, err)
+			}
+			if c.Cluster() != s.Cluster() {
+				t.Fatalf("seed %d candidate %d crossed the mode boundary", seed, i)
+			}
+			simpler := c.FaultCount() < s.FaultCount() ||
+				c.HorizonSec < s.HorizonSec ||
+				c.Fleet.Nodes < s.Fleet.Nodes ||
+				len(c.Workloads) < len(s.Workloads) ||
+				(!s.Operating.Scheme.Uncapped() && c.Operating.Scheme.Uncapped()) ||
+				(s.Operating.DVFSMHz != 0 && c.Operating.DVFSMHz == 0)
+			if !simpler {
+				t.Fatalf("seed %d candidate %d is not simpler than its parent", seed, i)
+			}
+		}
+	}
+}
+
+func TestShrinkReachesFixpoint(t *testing.T) {
+	// Repeatedly taking the first candidate must terminate: candidates
+	// are strictly simpler, so the chain is finite.
+	s := Generate(9)
+	for steps := 0; ; steps++ {
+		if steps > 200 {
+			t.Fatal("shrink chain did not terminate")
+		}
+		cands := s.ShrinkSteps()
+		if len(cands) == 0 {
+			break
+		}
+		s = cands[0]
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode([]byte(`{"version":1,"seed":1,"horizon_sec":10,"typo_field":3}`)); err == nil {
+		t.Fatal("unknown field should be rejected")
+	}
+}
+
+func TestSchemeSpecBuild(t *testing.T) {
+	for _, spec := range []SchemeSpec{
+		{},
+		{Kind: "uncapped"},
+		{Kind: "constant", Watts: 100},
+		{Kind: "linear", StartW: 150, MinW: 60, RateWPerSec: 10},
+		{Kind: "step", HighW: 0, LowW: 80, HighForSec: 2, LowForSec: 2},
+		{Kind: "jagged", StartW: 150, LowW: 70, FallForSec: 3, UncappedSec: 1},
+	} {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		sch, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if spec.Uncapped() != (sch == nil) {
+			t.Fatalf("%+v: Uncapped()=%v but scheme=%v", spec, spec.Uncapped(), sch)
+		}
+	}
+	if _, err := (SchemeSpec{Kind: "sawtooth"}).Build(); err == nil {
+		t.Fatal("unknown scheme kind should fail to build")
+	}
+}
+
+// TestFingerprintSensitivity: the run fingerprint must change when any
+// run-shaping field changes, and must not change when nothing does.
+func TestFingerprintSensitivity(t *testing.T) {
+	mk := func() WorkloadFP {
+		w, err := (WorkloadSpec{App: "LAMMPS", Seconds: 10}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FingerprintWorkload(w)
+	}
+	base := RunFingerprint{Version: 1, Workload: mk(), Operating: "uncapped", Seed: 1, MaxSeconds: 10}
+	if base.Hash() != base.Hash() {
+		t.Fatal("hash not stable")
+	}
+	variants := []RunFingerprint{}
+	v := base
+	v.Operating = "dvfs:2000"
+	variants = append(variants, v)
+	v = base
+	v.Seed = 2
+	variants = append(variants, v)
+	v = base
+	v.MaxSeconds = 11
+	variants = append(variants, v)
+	v = base
+	v.Invariants = true
+	variants = append(variants, v)
+	v = base
+	v.FixedTick = true
+	variants = append(variants, v)
+	v = base
+	v.Faults = &fault.Plan{Seed: 3, PubSub: fault.PubSubPlan{DropRate: 0.5}}
+	variants = append(variants, v)
+	v = base
+	other, err := (WorkloadSpec{App: "STREAM", Seconds: 10}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Workload = FingerprintWorkload(other)
+	variants = append(variants, v)
+
+	seen := map[string]int{base.Hash(): -1}
+	for i, v := range variants {
+		h := v.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("variant %d collides with %d", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+// FuzzRoundTrip: decode(encode(s)) == s and hash equality, for
+// generator-derived scenarios across arbitrary seeds.
+func FuzzRoundTrip(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 3, 17, 0xdeadbeef, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		s := Generate(seed)
+		for _, enc := range []func() ([]byte, error){s.CanonicalJSON, s.Encode} {
+			b, err := enc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Decode(b)
+			if err != nil {
+				t.Fatalf("decode of our own encoding failed: %v\n%s", err, b)
+			}
+			if !reflect.DeepEqual(s, s2) {
+				t.Fatalf("round trip changed the scenario:\n%+v\n%+v", s, s2)
+			}
+			h1, _ := s.Hash()
+			h2, _ := s2.Hash()
+			if h1 != h2 {
+				t.Fatalf("round trip changed the hash: %s vs %s", h1, h2)
+			}
+		}
+	})
+}

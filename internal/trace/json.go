@@ -1,0 +1,29 @@
+package trace
+
+import "encoding/json"
+
+// seriesJSON is the wire form of a Series. Points marshal through Go's
+// default float encoding (shortest round-trip), so a decoded series is
+// bit-identical to the one encoded — a requirement for the experiment
+// disk cache, whose loaded results must produce the same signatures as
+// freshly computed ones.
+type seriesJSON struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit,omitempty"`
+	Points []Point `json:"points,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesJSON{Name: s.Name, Unit: s.Unit, Points: s.pts})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	var sj seriesJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return err
+	}
+	s.Name, s.Unit, s.pts = sj.Name, sj.Unit, sj.Points
+	return nil
+}
