@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"progresscap/internal/apps"
+	"progresscap/internal/cluster"
 	"progresscap/internal/counters"
 	"progresscap/internal/engine"
 	"progresscap/internal/experiments"
@@ -184,6 +185,49 @@ func BenchmarkAblationMethod(b *testing.B) {
 		}
 	}
 }
+
+// --- cluster stepping benchmarks ---
+
+// benchClusterEpochs measures intra-epoch node advancement on a 256-node
+// fleet at the given shard worker bound. Construction is off the clock;
+// the measured region is the epoch loop — cap decision, RAPL writes, and
+// the (serial or sharded) engine advances. Reported as node-epochs/s so
+// the number is comparable across fleet sizes.
+func benchClusterEpochs(b *testing.B, workers int) {
+	const fleetNodes, epochs = 256, 4
+	b.ReportAllocs()
+	var nodeEpochs int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		opts := benchOpts()
+		opts.Seed = uint64(i + 1)
+		opts.NodeWorkers = workers
+		m, err := experiments.NewFleetManager(opts, fleetNodes, cluster.EqualSplit{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for e := 0; e < epochs; e++ {
+			if _, err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		nodeEpochs += fleetNodes * epochs
+	}
+	b.ReportMetric(float64(nodeEpochs)/b.Elapsed().Seconds(), "node-epochs/s")
+}
+
+// BenchmarkClusterEpochSerial is the workers=1 baseline: every node
+// advanced in index order on the stepping goroutine, as every Manager
+// ran before the shard pool existed.
+func BenchmarkClusterEpochSerial(b *testing.B) { benchClusterEpochs(b, 1) }
+
+// BenchmarkClusterEpochParallel is the same fleet sharded across
+// GOMAXPROCS workers. benchreport derives parallel_speedup from this
+// pair; on a multi-core host it should approach min(GOMAXPROCS, shards),
+// and on a 1-CPU host ~1.0 (the pool's only overhead is goroutine
+// startup and the epoch barrier).
+func BenchmarkClusterEpochParallel(b *testing.B) { benchClusterEpochs(b, 0) }
 
 // --- substrate micro-benchmarks ---
 

@@ -8,7 +8,10 @@
 //
 // It parses standard testing.B result lines — including custom metrics
 // such as the engine's virtual-s/s — plus the trailing `ok <pkg> <secs>`
-// line, which it records as the suite wall time. With -before, a prior
+// line, which it records as the suite wall time. Repeated lines for one
+// benchmark (`go test -count=N`) collapse to the fastest sample, and
+// Serial/Parallel benchmark pairs gain a derived parallel_speedup
+// metric. With -before, a prior
 // report is embedded under "before" so a single file carries the
 // before/after pair for a PR. With -echo, input lines are copied to
 // stdout so the tool can sit at the end of a pipe without hiding the
@@ -51,10 +54,14 @@ type Benchmark struct {
 
 // Report is the persisted baseline.
 type Report struct {
-	Schema       string      `json:"schema"`
-	Date         string      `json:"date"`
-	GoVersion    string      `json:"go_version"`
-	GOMAXPROCS   int         `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU is the machine's physical parallelism budget, distinct from
+	// GOMAXPROCS (which a runner may pin): a parallel_speedup of ~1.0 on
+	// a 1-CPU host is expected, not a regression.
+	NumCPU       int         `json:"num_cpu,omitempty"`
 	SuiteSeconds float64     `json:"suite_seconds,omitempty"`
 	Benchmarks   []Benchmark `json:"benchmarks"`
 	// Notes carries free-form context (host caveats, what changed).
@@ -74,10 +81,11 @@ func main() {
 	note := flag.String("note", "", "free-form note recorded in the report")
 	diff := flag.Bool("diff", false, "compare two baselines (or one against its embedded \"before\") instead of parsing bench output")
 	regress := flag.Float64("regress", 10, "with -diff, fail when any ns/op regresses by more than this percent")
+	preferEmbedded := flag.Bool("prefer-embedded", false, "with -diff and two files, diff the newer file against its own embedded \"before\" when it has one (a same-host pair) instead of the older file")
 	flag.Parse()
 
 	if *diff {
-		if err := runDiff(flag.Args(), *regress, os.Stdout); err != nil {
+		if err := runDiff(flag.Args(), *regress, *preferEmbedded, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -100,6 +108,7 @@ func main() {
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	if *note != "" {
 		rep.Notes = append(rep.Notes, *note)
@@ -125,7 +134,7 @@ func main() {
 			fmt.Println(line)
 		}
 		if b, ok := parseBenchLine(line); ok {
-			rep.Benchmarks = append(rep.Benchmarks, b)
+			rep.addBenchmark(b)
 			continue
 		}
 		if secs, ok := parseOKLine(line); ok {
@@ -138,6 +147,7 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		log.Fatal("no benchmark result lines found in input")
 	}
+	addDerivedMetrics(rep)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -192,6 +202,55 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// addBenchmark records one parsed result line. Repeated lines for the
+// same benchmark (a `go test -count=N` run) collapse to the fastest
+// sample by ns/op — on shared-CPU hosts a single capture carries
+// ±10% scheduling noise, and the minimum is the standard noise-robust
+// estimate of a benchmark's true cost.
+func (rep *Report) addBenchmark(b Benchmark) {
+	for i, prev := range rep.Benchmarks {
+		if prev.Name != b.Name {
+			continue
+		}
+		if pn, ok := prev.Metrics["ns/op"]; ok {
+			if bn, ok2 := b.Metrics["ns/op"]; ok2 && bn < pn {
+				rep.Benchmarks[i] = b
+			}
+		}
+		return
+	}
+	rep.Benchmarks = append(rep.Benchmarks, b)
+}
+
+// addDerivedMetrics computes cross-benchmark metrics the raw testing.B
+// lines cannot express. Currently: for every Serial/Parallel benchmark
+// pair (BenchmarkXSerial / BenchmarkXParallel), the Parallel entry gains
+// a parallel_speedup metric — serial ns/op over parallel ns/op — so the
+// sharding win is tracked as a first-class number in the baseline.
+func addDerivedMetrics(rep *Report) {
+	serial := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		if base, ok := strings.CutSuffix(b.Name, "Serial"); ok {
+			if ns := b.Metrics["ns/op"]; ns > 0 {
+				serial[base] = ns
+			}
+		}
+	}
+	for _, b := range rep.Benchmarks {
+		base, ok := strings.CutSuffix(b.Name, "Parallel")
+		if !ok {
+			continue
+		}
+		sns, ok := serial[base]
+		if !ok {
+			continue
+		}
+		if pns := b.Metrics["ns/op"]; pns > 0 {
+			b.Metrics["parallel_speedup"] = sns / pns
+		}
+	}
+}
+
 // parseOKLine extracts the elapsed seconds from a `ok <pkg> <secs>s`
 // test-harness summary line.
 func parseOKLine(line string) (float64, bool) {
@@ -224,15 +283,20 @@ func loadReport(path string) (*Report, error) {
 
 // lowerIsBetter reports whether a metric improves by shrinking. Rates
 // (anything per second, like the engine's virtual-s/s) grow when things
-// get faster; costs (ns/op, B/op, allocs/op) shrink.
+// get faster, as do derived ratios like parallel_speedup; costs (ns/op,
+// B/op, allocs/op) shrink.
 func lowerIsBetter(unit string) bool {
-	return !strings.HasSuffix(unit, "/s")
+	return !strings.HasSuffix(unit, "/s") && unit != "parallel_speedup"
 }
 
 // runDiff compares old vs new per benchmark and per metric, prints the
 // delta table to w, and returns an error when any ns/op regression
-// exceeds regressPct.
-func runDiff(args []string, regressPct float64, w io.Writer) error {
+// exceeds regressPct. With preferEmbedded, a new file carrying an
+// embedded "before" is diffed against that instead of the older file:
+// the embedded pair was measured on one host in one sitting, so it
+// isolates the code change from day-to-day host-speed drift that a
+// cross-date file pair would misreport as a regression.
+func runDiff(args []string, regressPct float64, preferEmbedded bool, w io.Writer) error {
 	var oldRep, newRep *Report
 	var oldName, newName string
 	switch len(args) {
@@ -255,6 +319,9 @@ func runDiff(args []string, regressPct float64, w io.Writer) error {
 			return err
 		}
 		oldName, newName = args[0], args[1]
+		if preferEmbedded && newRep.Before != nil {
+			oldRep, oldName = newRep.Before, args[1]+"#before"
+		}
 	default:
 		return fmt.Errorf("-diff needs one or two baseline files, got %d", len(args))
 	}

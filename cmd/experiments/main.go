@@ -61,11 +61,12 @@ func replaySpec(runner *experiments.Runner, path string) int {
 }
 
 func main() {
-	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes,ext-partitions); empty = all")
+	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes,ext-partitions,ext-fleet); empty = all")
 	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
 	reps := flag.Int("reps", 3, "repetitions per power cap (Figure 4)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS); results are identical at any setting")
+	nodeWorkers := flag.Int("nodeworkers", 0, "max concurrent node shards per cluster epoch (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	invariants := flag.Bool("invariants", false, "arm the engine-level safety invariant checker on every run; violations fail the artifact")
 	csvDir := flag.String("csv", "", "also write each artifact's tables as CSV files into this directory")
 	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
@@ -118,6 +119,7 @@ func main() {
 		CheckInvariants: *invariants,
 		Parallel:        *parallel,
 		FixedTick:       *fixedTick,
+		NodeWorkers:     *nodeWorkers,
 	}.WithRunner(runner)
 	start := time.Now()
 
@@ -144,6 +146,7 @@ func main() {
 		{"ext-faults", experiments.ExtFaults},
 		{"ext-crashes", experiments.ExtCrashes},
 		{"ext-partitions", experiments.ExtPartitions},
+		{"ext-fleet", experiments.ExtFleet},
 	}
 
 	want := map[string]bool{}
@@ -198,8 +201,13 @@ func main() {
 		}
 	}
 	st := runner.Stats()
-	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache (%d memo, %d disk), peak %d/%d workers, wall %s\n",
-		st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, st.PeakWorkers, runner.Parallel(), time.Since(start).Round(time.Millisecond))
+	shardLine := ""
+	if st.Shards.Epochs > 0 {
+		shardLine = fmt.Sprintf(", %d cluster epochs over %d shards (peak %d node workers, barrier wait %s)",
+			st.Shards.Epochs, st.Shards.Shards, st.Shards.PeakWorkers, st.Shards.BarrierWait.Round(time.Microsecond))
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache (%d memo, %d disk), peak %d/%d workers%s, wall %s\n",
+		st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, st.PeakWorkers, runner.Parallel(), shardLine, time.Since(start).Round(time.Millisecond))
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {

@@ -35,6 +35,7 @@ func main() {
 	seeds := flag.Int("seeds", 25, "number of generated scenarios (seeds 1..N)")
 	oneSeed := flag.Uint64("seed", 0, "run exactly this one generator seed (overrides -seeds)")
 	parallel := flag.Int("parallel", 0, "max concurrent scenarios (0 = GOMAXPROCS)")
+	nodeWorkers := flag.Int("nodeworkers", 0, "max concurrent node shards per cluster epoch (0 = GOMAXPROCS, 1 = serial); oracle outcomes are identical at any setting")
 	cacheDir := flag.String("cachedir", "", "disk result cache directory shared with cmd/experiments")
 	outDir := flag.String("out", filepath.Join("out", "soak"), "directory for shrunk minimal repros")
 	shrinkBudget := flag.Int("shrinkbudget", soak.DefaultShrinkBudget, "max scenario executions per shrink")
@@ -48,6 +49,7 @@ func main() {
 		}
 	}
 	h := soak.New(runner)
+	h.NodeWorkers = *nodeWorkers
 	if h.BugW != 0 {
 		fmt.Fprintf(os.Stderr, "soak: deliberate budget bug armed (+%g W)\n", h.BugW)
 	}
@@ -146,7 +148,12 @@ func main() {
 	}
 
 	st := runner.Stats()
-	fmt.Fprintf(os.Stderr, "soak: %d scenarios (%d cluster, %d single), %d failing, %d runs executed, %d served from cache (%d memo, %d disk), wall %s\n",
-		len(list), clusterN, singleN, failures, st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, time.Since(start).Round(time.Millisecond))
+	shardLine := ""
+	if st.Shards.Epochs > 0 {
+		shardLine = fmt.Sprintf(", %d cluster epochs over %d shards (peak %d node workers, barrier wait %s)",
+			st.Shards.Epochs, st.Shards.Shards, st.Shards.PeakWorkers, st.Shards.BarrierWait.Round(time.Microsecond))
+	}
+	fmt.Fprintf(os.Stderr, "soak: %d scenarios (%d cluster, %d single), %d failing, %d runs executed, %d served from cache (%d memo, %d disk)%s, wall %s\n",
+		len(list), clusterN, singleN, failures, st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, shardLine, time.Since(start).Round(time.Millisecond))
 	os.Exit(exit)
 }

@@ -327,6 +327,14 @@ type Manager struct {
 
 	faults *fault.Injector
 
+	// pool fans node advancement across shards each epoch (see shard.go);
+	// its worker bound is set with SetNodeWorkers.
+	pool shardPool
+
+	// policyHook, when non-nil, is consulted each post-calibration epoch
+	// and may swap the division policy at runtime (see SetPolicyHook).
+	policyHook PolicyHook
+
 	epoch    int
 	elapsed  time.Duration
 	res      *Result
@@ -368,6 +376,16 @@ func NewManagerCfg(cfg Config, policy Policy, budget BudgetFunc, nodes ...*Node)
 // slowdown) the manager consults while stepping. Call before the first
 // Step.
 func (m *Manager) SetFaults(inj *fault.Injector) { m.faults = inj }
+
+// SetNodeWorkers bounds how many node shards advance concurrently each
+// epoch: 0 (the default) means GOMAXPROCS, 1 means the plain serial
+// loop. Results are byte-identical at any setting — engines are fully
+// self-contained — so this is purely a wall-clock knob. Call before the
+// first Step.
+func (m *Manager) SetNodeWorkers(workers int) { m.pool.workers = workers }
+
+// ShardStats returns the shard pool's accumulated counters.
+func (m *Manager) ShardStats() ShardStats { return m.pool.stats }
 
 // FailedNodes lists the nodes currently fenced by the watchdog.
 func (m *Manager) FailedNodes() []string {
@@ -417,14 +435,23 @@ func (m *Manager) Step() (bool, error) {
 	}
 	m.ensureResult()
 	res := m.res
+	// Every per-epoch series is stamped at the epoch's end instant, so
+	// the budget in force, the caps programmed, and the progress measured
+	// over the same epoch all align on one timestamp.
+	end := m.elapsed + Epoch
 
 	// 1. Decide and program caps.
 	budgetW := m.budget(m.elapsed)
 	if m.budgetOverride >= 0 {
 		budgetW = m.budgetOverride
 	}
-	res.BudgetTrace.Add(m.elapsed, budgetW)
+	res.BudgetTrace.Add(end, budgetW)
 	statuses := m.statuses()
+	if m.policyHook != nil && m.epoch >= m.UncappedEpochs {
+		if p := m.policyHook(m.epoch, statuses); p != nil {
+			m.policy = p
+		}
+	}
 
 	// Fenced nodes are held at the quarantine cap; that power comes out
 	// of the job budget before the policy divides the remainder among
@@ -460,28 +487,38 @@ func (m *Manager) Step() (bool, error) {
 		if err := rapl.WriteLimitRetry(n.eng.Device(), caps[i], 10*time.Millisecond); err != nil {
 			return false, fmt.Errorf("cluster: programming %s: %w", n.name, err)
 		}
-		n.capTrace.Add(m.elapsed, caps[i])
+		n.capTrace.Add(end, caps[i])
 	}
 
-	// 2. Advance every node one epoch. A crashed node is frozen in
+	// 2. Advance every node one epoch, sharded across the pool (engines
+	// are self-contained, so distinct nodes advance concurrently without
+	// observable effect — see shard.go). A crashed node is frozen in
 	// place — it burns no virtual time and produces no reports, which is
 	// exactly what the watchdog must detect from the outside. A slowed
-	// node gets its frequency ceiling applied before it steps.
-	for _, n := range m.nodes {
+	// node gets its frequency ceiling applied before it steps. The crash
+	// and ceiling checks are pure window lookups on the node's own plan,
+	// safe inside the parallel section.
+	now := m.elapsed
+	err := m.pool.run(len(m.nodes), func(i int) error {
+		n := m.nodes[i]
 		if n.eng.Done() {
-			continue
+			return nil
 		}
 		if np := m.nodeFaults(n); np != nil {
-			if np.Crashed(m.elapsed) {
-				continue
+			if np.Crashed(now) {
+				return nil
 			}
-			if frac := np.FreqCeilingFrac(m.elapsed); frac < 1 {
+			if frac := np.FreqCeilingFrac(now); frac < 1 {
 				n.eng.SetFreqCeiling(frac * n.eng.MaxFreqMHz())
 			}
 		}
 		if _, err := n.eng.Advance(Epoch); err != nil {
-			return false, fmt.Errorf("cluster: advancing %s: %w", n.name, err)
+			return fmt.Errorf("cluster: advancing %s: %w", n.name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return false, err
 	}
 	m.elapsed += Epoch
 	m.epoch++

@@ -92,6 +92,12 @@ type LeasedConfig struct {
 	InboxControlDepth   int
 	InboxTelemetryDepth int
 
+	// NodeWorkers bounds how many node shards advance concurrently each
+	// epoch (0 = GOMAXPROCS, 1 = serial). Purely a wall-clock knob:
+	// results are byte-identical at any setting. Not part of any
+	// scenario hash or run fingerprint.
+	NodeWorkers int
+
 	// Faults supplies partitions, manager kills/pauses, and node plans;
 	// nil injects nothing.
 	Faults *fault.Injector
@@ -333,6 +339,7 @@ type LeasedCluster struct {
 	byName   map[string]*LeasedNode
 	managers []*leasedManager
 	log      *sharedLog
+	pool     shardPool
 
 	elapsed  time.Duration
 	res      *LeasedResult
@@ -351,6 +358,7 @@ func NewLeasedCluster(cfg LeasedConfig, nodes ...*LeasedNode) (*LeasedCluster, e
 		return nil, fmt.Errorf("cluster: no nodes")
 	}
 	lc := &LeasedCluster{cfg: cfg, nodes: nodes, byName: map[string]*LeasedNode{}, log: newSharedLog()}
+	lc.pool.workers = cfg.NodeWorkers
 	safeCap := cfg.Cluster.QuarantineCapW
 	names := make([]string, 0, len(nodes))
 	for _, n := range nodes {
@@ -413,6 +421,9 @@ func (lc *LeasedCluster) LeaseTTL() time.Duration { return lc.cfg.LeaseTTL }
 
 // SafeCapW returns the quarantine cap nodes revert to.
 func (lc *LeasedCluster) SafeCapW() float64 { return lc.cfg.Cluster.QuarantineCapW }
+
+// ShardStats returns the node-advancement shard pool's counters.
+func (lc *LeasedCluster) ShardStats() ShardStats { return lc.pool.stats }
 
 // ReplayGrants replays the shared manager journal and returns every
 // journaled grant plus the highest fencing epoch and sequence stamped
@@ -486,7 +497,9 @@ func (lc *LeasedCluster) Step() (bool, error) {
 	lc.ensureResult()
 	now := lc.elapsed
 	budgetW := lc.cfg.Budget(now)
-	lc.res.BudgetTrace.Add(now, budgetW)
+	// Stamped at the epoch's end instant, like every other per-epoch
+	// series (caps, enforced sum, progress) — one timestamp per epoch.
+	lc.res.BudgetTrace.Add(now+Epoch, budgetW)
 
 	// 1. Manager phase. Fixed replica order keeps runs deterministic.
 	for _, m := range lc.managers {
@@ -520,10 +533,15 @@ func (lc *LeasedCluster) Step() (bool, error) {
 		m.lastAppends = lc.log.Appends()
 	}
 
-	// 2. Node phase: advance engines under node fault plans.
-	for _, n := range lc.nodes {
+	// 2. Node phase: advance engines under node fault plans, sharded
+	// across the pool (see shard.go). Everything inside the closure is
+	// node-local: the crash/ceiling checks are pure window lookups on
+	// the node's own plan, and the reboot cap writes the node's own
+	// simulated register.
+	err := lc.pool.run(len(lc.nodes), func(i int) error {
+		n := lc.nodes[i]
 		if n.eng.Done() {
-			continue
+			return nil
 		}
 		if np := lc.cfg.Faults.Node(n.name); np != nil {
 			if np.Crashed(now) {
@@ -535,18 +553,22 @@ func (lc *LeasedCluster) Step() (bool, error) {
 					// its engine clock (frozen for the whole window) must not
 					// keep enforcing a cap whose lease charge expired.
 					if err := rapl.WriteLimitRetry(n.eng.Device(), lc.cfg.Cluster.QuarantineCapW, 10*time.Millisecond); err != nil {
-						return false, fmt.Errorf("cluster: reboot cap on %s: %w", n.name, err)
+						return fmt.Errorf("cluster: reboot cap on %s: %w", n.name, err)
 					}
 				}
-				continue
+				return nil
 			}
 			if frac := np.FreqCeilingFrac(now); frac < 1 {
 				n.eng.SetFreqCeiling(frac * n.eng.MaxFreqMHz())
 			}
 		}
 		if _, err := n.eng.Advance(Epoch); err != nil {
-			return false, fmt.Errorf("cluster: advancing %s: %w", n.name, err)
+			return fmt.Errorf("cluster: advancing %s: %w", n.name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return false, err
 	}
 	lc.elapsed += Epoch
 	end := lc.elapsed

@@ -567,6 +567,14 @@ func (e *Engine) start() error {
 // early when every workload completes. It reports whether the engine is
 // done. Advance may be called repeatedly; call Finish to collect the
 // result.
+//
+// Shard-safety contract: an Engine is fully self-contained — its
+// device, bus, monitor, fault injector, and RNG are all per-instance,
+// and the package keeps no mutable global state — so DISTINCT engines
+// may Advance concurrently with bit-identical results at any schedule
+// (the cluster shard pool depends on this; TestEnginesShardSafe pins
+// it). A single Engine is not goroutine-safe: never call Advance (or
+// any other method) on the same instance from two goroutines.
 func (e *Engine) Advance(d time.Duration) (bool, error) {
 	if e.finished {
 		return true, fmt.Errorf("engine: Advance after Finish")

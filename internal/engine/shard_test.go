@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/fault"
+)
+
+// buildShardEngine constructs one engine of the shard-safety fixture:
+// heterogeneous power models, distinct seeds, one node with a fault
+// plan — the shapes the cluster layer advances concurrently.
+func buildShardEngine(t *testing.T, i int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = uint64(i + 1)
+	cfg.Power.CoreDynMaxW *= 1 + 0.1*float64(i%3)
+	e, err := New(cfg, apps.LAMMPS(apps.DefaultRanks, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i == 2 {
+		e.SetFaults(fault.NewInjector(fault.Plan{
+			Seed: 7,
+			MSR:  fault.MSRPlan{StaleReadRate: 0.05},
+		}))
+	}
+	return e
+}
+
+// TestEnginesShardSafe pins the contract the cluster shard pool relies
+// on (see Advance's doc comment): distinct engines advanced from
+// concurrent goroutines produce results bit-identical to the same
+// engines advanced serially. Run under -race this also proves the
+// engine package shares no mutable state between instances.
+func TestEnginesShardSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	const engines = 8
+	const epochs = 5
+
+	run := func(concurrent bool) []string {
+		engs := make([]*Engine, engines)
+		for i := range engs {
+			engs[i] = buildShardEngine(t, i)
+		}
+		for ep := 0; ep < epochs; ep++ {
+			if concurrent {
+				var wg sync.WaitGroup
+				errs := make([]error, engines)
+				for i, e := range engs {
+					wg.Add(1)
+					go func(i int, e *Engine) {
+						defer wg.Done()
+						_, errs[i] = e.Advance(time.Second)
+					}(i, e)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				for _, e := range engs {
+					if _, err := e.Advance(time.Second); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		sigs := make([]string, engines)
+		for i, e := range engs {
+			res, err := e.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs[i] = res.Signature()
+		}
+		return sigs
+	}
+
+	serial := run(false)
+	parallel := run(true)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("engine %d: concurrent advance diverged from serial", i)
+		}
+	}
+}

@@ -67,6 +67,15 @@ type Options struct {
 	// the differential test asserts exactly that — so this exists for
 	// validation, not for users.
 	FixedTick bool
+	// NodeWorkers bounds how many node-engine shards a cluster-level
+	// generator advances concurrently within each epoch (see
+	// cluster.Manager.SetNodeWorkers).
+	//
+	// Sentinel: 0 means GOMAXPROCS; 1 reproduces the serial advance
+	// loop. Like Parallel, results are byte-identical at any setting —
+	// which is why it is NOT part of any run fingerprint or memo key
+	// (TestFingerprintIgnoresExecutionKnobs pins that).
+	NodeWorkers int
 
 	// runner schedules and memoizes runs. All generators reached through
 	// one Options value (All, or cmd/experiments via WithRunner) share it,

@@ -355,10 +355,12 @@ func ExtCluster(opts Options) (*Artifact, error) {
 			if err != nil {
 				return nil, err
 			}
+			m.SetNodeWorkers(opts.NodeWorkers)
 			res, err := m.Run(time.Duration(opts.RunSeconds*3) * time.Second)
 			if err != nil {
 				return nil, fmt.Errorf("ext-cluster: %s at %v W: %w", pol.Name(), budget, err)
 			}
+			opts.rn().RecordShards(m.ShardStats())
 			meanMean := stats.Mean(res.MeanProgress.Values())
 			// Spread = mean gap between the job average and the slowest
 			// node: how unevenly the nodes progress.

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+
+	"progresscap/internal/cluster"
+)
+
+// TestFleetSweepWorkerDeterminism runs the small end of the fleet grid
+// at 1, 2, and 8 shard workers and requires cell-for-cell identical
+// results — the experiments-level face of the cluster package's
+// signature-equivalence test (which also runs under -race; this sweep
+// skips there, like the other multi-second simulation sweeps).
+func TestFleetSweepWorkerDeterminism(t *testing.T) {
+	skipIfRace(t)
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	sweep := func(workers int) []FleetCell {
+		opts := quickOpts()
+		opts.NodeWorkers = workers
+		cells, _, err := RunFleetSweep(opts, []int{8, 64})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return cells
+	}
+	base := sweep(1)
+	for _, w := range []int{2, 8} {
+		got := sweep(w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d cells, want %d", w, len(got), len(base))
+		}
+		for i := range base {
+			// ShardEpochs is pool bookkeeping, not simulation output.
+			a, b := base[i], got[i]
+			a.ShardEpochs, b.ShardEpochs = 0, 0
+			if a != b {
+				t.Errorf("workers=%d cell %d: %+v != %+v", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestFleet1024Race is the 1024-node scenario sized to run under the
+// race detector: two sharded epochs across 8 workers over the full
+// fleet, enough to race-exercise every engine concurrently without the
+// race build's ~13x slowdown blowing the package timeout.
+func TestFleet1024Race(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	opts := quickOpts()
+	opts.NodeWorkers = 8
+	m, err := NewFleetManager(opts, 1024, cluster.EqualSplit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 1024 {
+		t.Fatalf("fleet size = %d", len(res.Nodes))
+	}
+	st := m.ShardStats()
+	if st.Epochs != 2 || st.Shards != 8 {
+		t.Fatalf("shard stats = %+v, want 2 epochs over 8 shards", st)
+	}
+	if res.MinProgress.Len() == 0 {
+		t.Fatal("no progress recorded")
+	}
+}
+
+// TestFleetArtifactShape pins the ext-fleet artifact contract: one row
+// per (size, policy) cell, a best-policy note per fleet size, plausible
+// cell metrics, and shard counters reported to the shared runner.
+func TestFleetArtifactShape(t *testing.T) {
+	skipIfRace(t)
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	r := NewRunner(1)
+	art, err := ExtFleet(quickOpts().WithRunner(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.ID != "ext-fleet" {
+		t.Fatalf("ID = %s", art.ID)
+	}
+	if want := len(FleetSizes) * 5; art.Tables[0].NumRows() != want {
+		t.Fatalf("%d rows, want %d", art.Tables[0].NumRows(), want)
+	}
+	if got := len(art.Notes); got < 3+len(FleetSizes) {
+		t.Fatalf("%d notes, want at least %d", got, 3+len(FleetSizes))
+	}
+	// The runner saw the merged shard counters (summary-line plumbing).
+	if r.Stats().Shards.Epochs == 0 {
+		t.Fatal("fleet sweep recorded no shard stats on the shared runner")
+	}
+	// Cell-level plausibility on the cheap end of the grid.
+	cells, _, err := RunFleetSweep(quickOpts(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.MeanMin <= 0 || c.MeanMin > 1.5 {
+			t.Errorf("%d/%s: implausible mean min-progress %g", c.Nodes, c.Policy, c.MeanMin)
+		}
+		if c.EnergyKJ <= 0 {
+			t.Errorf("%d/%s: no energy recorded", c.Nodes, c.Policy)
+		}
+	}
+}
+
+// TestFingerprintIgnoresExecutionKnobs pins that execution-level knobs
+// — scheduler width and shard worker count — never reach the run
+// fingerprint, so a disk cache written on a 64-core machine is valid on
+// a laptop and vice versa.
+func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
+	mkSpec := func(o Options) RunSpec {
+		return o.capSpec(characterizable(o)[0].mk, nil, 1, 6)
+	}
+	a := Options{RunSeconds: 6, Reps: 1, Seed: 1, Parallel: 1, NodeWorkers: 1}
+	b := Options{RunSeconds: 6, Reps: 1, Seed: 1, Parallel: 8, NodeWorkers: 8}
+	if ka, kb := mkSpec(a).key(), mkSpec(b).key(); ka != kb {
+		t.Fatalf("run key depends on execution knobs:\n%s\n%s", ka, kb)
+	}
+}

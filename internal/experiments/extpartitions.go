@@ -78,9 +78,10 @@ func RunPartitionSuite(opts Options) (*PartitionReport, error) {
 			nodes = append(nodes, cluster.NewLeasedNode(nn, e))
 		}
 		lc, err := cluster.NewLeasedCluster(cluster.LeasedConfig{
-			Policy: cluster.EqualSplit{},
-			Budget: cluster.ConstantBudget(partBudgetW),
-			Faults: fault.NewInjector(plan),
+			Policy:      cluster.EqualSplit{},
+			Budget:      cluster.ConstantBudget(partBudgetW),
+			Faults:      fault.NewInjector(plan),
+			NodeWorkers: opts.NodeWorkers,
 		}, nodes...)
 		if err != nil {
 			return PartitionScenario{}, err
@@ -89,6 +90,7 @@ func RunPartitionSuite(opts Options) (*PartitionReport, error) {
 		if err != nil {
 			return PartitionScenario{}, fmt.Errorf("ext-partitions: %s: %w", name, err)
 		}
+		opts.rn().RecordShards(lc.ShardStats())
 		for _, e := range engines {
 			if err := invariantErr(e); err != nil {
 				return PartitionScenario{}, fmt.Errorf("ext-partitions: %s: %w", name, err)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"progresscap/internal/cluster"
 	"progresscap/internal/engine"
 	"progresscap/internal/fault"
 	"progresscap/internal/policy"
@@ -100,6 +101,10 @@ type RunnerStats struct {
 	CacheHits   uint64 // Do calls served from a memoized or in-flight run
 	DiskHits    uint64 // runs served from the disk cache instead of executing
 	PeakWorkers int    // maximum simulations in flight at once
+	// Shards aggregates the intra-epoch node-advancement pools of every
+	// cluster-level generator that ran through this Runner's suite (see
+	// Runner.RecordShards); zero when no cluster generator ran.
+	Shards cluster.ShardStats
 }
 
 // Runner fans independent experiment runs over a bounded worker pool and
@@ -124,6 +129,9 @@ type Runner struct {
 	diskHits atomic.Uint64
 	active   atomic.Int64
 	peak     atomic.Int64
+
+	shardMu sync.Mutex
+	shards  cluster.ShardStats
 }
 
 // NewRunner returns a Runner executing at most parallel simulations at
@@ -143,12 +151,26 @@ func (r *Runner) Parallel() int { return cap(r.sem) }
 
 // Stats returns the scheduler counters accumulated so far.
 func (r *Runner) Stats() RunnerStats {
+	r.shardMu.Lock()
+	shards := r.shards
+	r.shardMu.Unlock()
 	return RunnerStats{
 		Executed:    r.executed.Load(),
 		CacheHits:   r.hits.Load(),
 		DiskHits:    r.diskHits.Load(),
 		PeakWorkers: int(r.peak.Load()),
+		Shards:      shards,
 	}
+}
+
+// RecordShards folds one cluster's shard-pool counters into the suite
+// totals (generators run concurrently, hence the lock). Cluster steps
+// don't flow through Do — each manager owns its own pool — so this is
+// how their parallelism shows up in the scheduler summary.
+func (r *Runner) RecordShards(s cluster.ShardStats) {
+	r.shardMu.Lock()
+	r.shards.Merge(s)
+	r.shardMu.Unlock()
 }
 
 // claim returns the entry for key, creating it if needed; created is true

@@ -164,17 +164,25 @@ func TestAllParallelDeterminism(t *testing.T) {
 	render := func(parallel int) []string {
 		opts := quickOpts()
 		opts.Parallel = parallel
+		// The shard axis rides the same sweep: the serial pass advances
+		// cluster nodes one at a time, the wide pass shards them 8-wide.
+		opts.NodeWorkers = parallel
 		arts, err := All(opts)
 		if err != nil {
 			t.Fatalf("All(parallel=%d): %v", parallel, err)
 		}
-		// ext-partitions is not part of All() but carries the same
-		// determinism bar: identical renders at any parallelism.
+		// ext-partitions and ext-fleet are not part of All() but carry the
+		// same determinism bar: identical renders at any parallelism and
+		// any shard worker count.
 		part, err := ExtPartitions(opts)
 		if err != nil {
 			t.Fatalf("ExtPartitions(parallel=%d): %v", parallel, err)
 		}
-		arts = append(arts, part)
+		fleet, err := ExtFleet(opts)
+		if err != nil {
+			t.Fatalf("ExtFleet(parallel=%d): %v", parallel, err)
+		}
+		arts = append(arts, part, fleet)
 		out := make([]string, len(arts))
 		for i, a := range arts {
 			out[i] = a.Render()

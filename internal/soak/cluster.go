@@ -72,6 +72,7 @@ func (h *Harness) runCluster(sc spec.Scenario, rep *Report) error {
 		LeaseTTL:       time.Duration(sc.Fleet.LeaseTTLEpochs) * cluster.Epoch,
 		FailoverEpochs: sc.Fleet.FailoverEpochs,
 		Faults:         inj,
+		NodeWorkers:    h.NodeWorkers,
 	}, nodes...)
 	if err != nil {
 		return err
@@ -144,6 +145,8 @@ func (h *Harness) runCluster(sc spec.Scenario, rep *Report) error {
 			break
 		}
 	}
+
+	h.runner().RecordShards(lc.ShardStats())
 
 	res, err := lc.Finish()
 	if err != nil {

@@ -84,6 +84,11 @@ type Harness struct {
 	// BugW > 0 arms the deliberate budget bug: cluster managers divide
 	// BudgetW+BugW while the oracles hold the spec to BudgetW.
 	BugW float64
+	// NodeWorkers bounds intra-epoch node-shard parallelism on cluster
+	// scenarios (0 = GOMAXPROCS, 1 = serial). Oracle outcomes are
+	// byte-identical at any setting — worker count never enters a
+	// scenario hash.
+	NodeWorkers int
 }
 
 // New returns a harness over the given runner with the deliberate bug

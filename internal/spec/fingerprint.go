@@ -69,6 +69,13 @@ func FingerprintWorkload(w *workload.Workload) WorkloadFP {
 // RunFingerprint is the canonical identity of one engine run. Equal
 // fingerprints describe byte-identical simulations; the hash is the
 // memoization and disk-cache key.
+//
+// Execution-level knobs — scheduler parallelism, cluster shard worker
+// counts, cache directories, anything that changes only wall time —
+// must NEVER become fingerprint fields: the hash names a *result*, and
+// a result computed on a 64-core machine is byte-identical to one
+// computed serially, so the disk cache stays valid across machines.
+// TestRunFingerprintFieldSet pins the exact field set.
 type RunFingerprint struct {
 	Version  int        `json:"version"`
 	Workload WorkloadFP `json:"workload"`

@@ -1,0 +1,34 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunFingerprintFieldSet pins the exact fields of RunFingerprint.
+// The fingerprint names a simulation *result*, so only knobs that can
+// change simulated bytes belong here. Execution-level knobs (scheduler
+// parallelism, cluster shard worker counts) must never appear: adding
+// one would fork the disk cache by machine shape for byte-identical
+// results. If this test fails, you either added a semantic knob
+// (update the want list AND bump Version so stale cache entries cannot
+// alias the new meaning) or leaked an execution knob (remove it).
+func TestRunFingerprintFieldSet(t *testing.T) {
+	want := []string{
+		"Version", "Workload", "Operating", "Seed",
+		"MaxSeconds", "Invariants", "FixedTick", "Faults",
+	}
+	typ := reflect.TypeOf(RunFingerprint{})
+	var got []string
+	for i := 0; i < typ.NumField(); i++ {
+		got = append(got, typ.Field(i).Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RunFingerprint fields = %v, want %v", got, want)
+	}
+	for _, banned := range []string{"Parallel", "NodeWorkers", "Workers", "Shards"} {
+		if _, ok := typ.FieldByName(banned); ok {
+			t.Fatalf("execution knob %s leaked into the run fingerprint", banned)
+		}
+	}
+}
