@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-race race soak soak-short soak-restart bench bench-smoke bench-diff profile experiments figures clean
+.PHONY: all verify build vet test test-race race soak soak-short soak-backends soak-restart bench bench-smoke bench-diff profile experiments figures clean
 
 # `make` with no target runs the pre-merge gate.
 .DEFAULT_GOAL := verify
@@ -10,10 +10,10 @@ GO ?= go
 all: build vet test test-race soak-restart soak bench-smoke
 
 # The one-command pre-merge gate: build, vet, the full suite under the
-# race detector, a short randomized scenario soak, a single pass of
-# every benchmark, and — whenever a tracked baseline exists — the
-# recorded-perf regression gate.
-verify: build vet test-race soak-short bench-smoke bench-diff
+# race detector, a short randomized scenario soak, the backend-hardening
+# soak, a single pass of every benchmark, and — whenever a tracked
+# baseline exists — the recorded-perf regression gate.
+verify: build vet test-race soak-short soak-backends bench-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,15 @@ soak:
 # The quick deterministic slice of the same soak that rides in `verify`.
 soak-short:
 	$(GO) run ./cmd/soak -seeds 12
+
+# Backend-hardening soak: the same generated scenarios forced onto the
+# sysfs actuation path (hardened actuator over the emulated powercap
+# tree), plus the supervised backend-failover property test — flapping
+# backends and daemon kills must never breach the budget or leave the
+# register unarmed.
+soak-backends:
+	$(GO) run ./cmd/soak -seeds 12 -backend sysfs
+	$(GO) test -run TestSupervisedBackendFailoverProperty ./internal/soak/
 
 # Chaos-restart soak: kill the supervised policy daemon at randomized
 # times and assert recovery invariants, under the race detector.

@@ -18,7 +18,9 @@ import (
 	"progresscap/internal/experiments"
 	"progresscap/internal/msr"
 	"progresscap/internal/policy"
+	"progresscap/internal/powercap"
 	"progresscap/internal/pubsub"
+	"progresscap/internal/rapl"
 	"progresscap/internal/stats"
 	"progresscap/internal/workload"
 )
@@ -360,4 +362,40 @@ func BenchmarkModelPredict(b *testing.B) {
 		sink += m.PredictDelta(60 + float64(i%100))
 	}
 	_ = sink
+}
+
+// BenchmarkActuationRetry measures a hardened cap write through the
+// retry/failover actuator against a sysfs backend that returns EAGAIN
+// on every other limit write — the steady-state cost of flap-absorbing
+// actuation (retry bookkeeping, read-back verify, health accounting),
+// not the happy path BenchmarkMSRWriteRead prices.
+func BenchmarkActuationRetry(b *testing.B) {
+	dev := msr.NewDevice(24, nil)
+	zone := powercap.NewZone(dev, msr.DefaultUnits())
+	var writes uint64
+	zone.SetFaultHook(func(op powercap.FaultOp, file string, now time.Duration) powercap.FaultClass {
+		if op == powercap.OpWrite && file == powercap.FilePowerLimitUW {
+			writes++
+			if writes%2 == 1 {
+				return powercap.FaultAgain
+			}
+		}
+		return powercap.FaultNone
+	})
+	act := rapl.NewActuator(rapl.ActuatorConfig{
+		Backends: []rapl.Backend{
+			powercap.NewBackend(zone),
+			rapl.NewMSRBackend(dev, 10*time.Millisecond),
+		},
+		Seed: 1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := act.WriteCap(time.Duration(i)*time.Millisecond, 80+float64(i%40)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := act.Counters()
+	b.ReportMetric(float64(c.Retries)/float64(b.N), "retries/op")
 }

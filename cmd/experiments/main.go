@@ -61,7 +61,7 @@ func replaySpec(runner *experiments.Runner, path string) int {
 }
 
 func main() {
-	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes,ext-partitions,ext-fleet); empty = all")
+	runList := flag.String("run", "", "comma-separated artifact ids (table1,tables2to4,table5,table6,fig1..fig5,ext-alpha,ext-techniques,ext-composite,ext-cluster,ext-faults,ext-crashes,ext-partitions,ext-fleet,ext-backends); empty = all")
 	seconds := flag.Float64("seconds", 12, "virtual seconds per measurement run")
 	reps := flag.Int("reps", 3, "repetitions per power cap (Figure 4)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
@@ -71,6 +71,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each artifact's tables as CSV files into this directory")
 	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
 	fixedTick := flag.Bool("fixedtick", false, "run every engine in fixed-tick oracle mode instead of event-driven macro-stepping (validation; output is identical)")
+	backend := flag.String("backend", "msr", "power-actuation backend for capped runs: msr (register daemon) or sysfs (hardened actuator over the emulated powercap tree)")
 	specFile := flag.String("spec", "", "replay one scenario spec JSON (e.g. a soak repro) under the full oracle battery instead of generating artifacts; exits 1 on violation")
 	cacheDir := flag.String("cachedir", "", "back the run memo table with a disk cache in this directory, shared across invocations")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite here")
@@ -120,6 +121,7 @@ func main() {
 		Parallel:        *parallel,
 		FixedTick:       *fixedTick,
 		NodeWorkers:     *nodeWorkers,
+		Backend:         *backend,
 	}.WithRunner(runner)
 	start := time.Now()
 
@@ -147,6 +149,7 @@ func main() {
 		{"ext-crashes", experiments.ExtCrashes},
 		{"ext-partitions", experiments.ExtPartitions},
 		{"ext-fleet", experiments.ExtFleet},
+		{"ext-backends", experiments.ExtBackends},
 	}
 
 	want := map[string]bool{}
@@ -206,8 +209,13 @@ func main() {
 		shardLine = fmt.Sprintf(", %d cluster epochs over %d shards (peak %d node workers, barrier wait %s)",
 			st.Shards.Epochs, st.Shards.Shards, st.Shards.PeakWorkers, st.Shards.BarrierWait.Round(time.Microsecond))
 	}
-	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache (%d memo, %d disk), peak %d/%d workers%s, wall %s\n",
-		st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, st.PeakWorkers, runner.Parallel(), shardLine, time.Since(start).Round(time.Millisecond))
+	actLine := ""
+	if a := st.Actuation; a.Attempts > 0 {
+		actLine = fmt.Sprintf(", actuation %d attempts (%d retries, %d failovers, %d parks)",
+			a.Attempts, a.Retries, a.Failovers, a.Parks)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache (%d memo, %d disk), peak %d/%d workers%s%s, wall %s\n",
+		st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, st.PeakWorkers, runner.Parallel(), shardLine, actLine, time.Since(start).Round(time.Millisecond))
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {

@@ -27,9 +27,12 @@ import (
 
 	"progresscap/internal/apps"
 	"progresscap/internal/engine"
+	"progresscap/internal/msr"
 	"progresscap/internal/policy"
+	"progresscap/internal/powercap"
 	"progresscap/internal/progress"
 	"progresscap/internal/pubsub"
+	"progresscap/internal/rapl"
 )
 
 func main() {
@@ -47,6 +50,7 @@ func main() {
 	rate := flag.Float64("rate", 5, "linear: cap decrease in W/s")
 	fall := flag.Float64("fall", 8, "jagged: seconds per descent")
 	delay := flag.Float64("delay", 4, "linear: uncapped delay in seconds")
+	backend := flag.String("backend", "msr", "power-actuation backend: msr (register daemon) or sysfs (hardened actuator over the emulated powercap tree)")
 	publish := flag.String("publish", "", "serve progress over TCP pub/sub on this address (e.g. 127.0.0.1:5556)")
 	pace := flag.Bool("pace", false, "slow the simulation to ~real time")
 	logPath := flag.String("log", "", "append per-window telemetry as JSON lines to this file")
@@ -98,8 +102,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := e.SetScheme(scheme); err != nil {
-		log.Fatal(err)
+	// The sysfs backend routes every cap write through the hardened
+	// actuator (retry/backoff, failover to the register path, safe-cap
+	// park); msr keeps the legacy register daemon, byte-identical to
+	// runs before backends existed.
+	var act *rapl.Actuator
+	switch *backend {
+	case "", "msr":
+		if err := e.SetScheme(scheme); err != nil {
+			log.Fatal(err)
+		}
+	case "sysfs":
+		zone := powercap.NewZone(e.Device(), msr.DefaultUnits())
+		act = rapl.NewActuator(rapl.ActuatorConfig{
+			Backends: []rapl.Backend{
+				powercap.NewBackend(zone),
+				rapl.NewMSRBackend(e.Device(), 10*time.Millisecond),
+			},
+			Seed: *seed,
+		})
+		if err := e.SetSchemeVia(scheme, rapl.DaemonWriter{A: act}); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown backend %q (want msr or sysfs)", *backend)
 	}
 
 	// Optional TCP bridge: forward the engine's in-process progress
@@ -226,6 +252,11 @@ loop:
 	fmt.Printf("# completed=%v elapsed=%.1fs energy=%.0fJ mean=%.2f %s, %d reports (%d dropped)\n",
 		res.Completed, res.Elapsed.Seconds(), res.EnergyJ, res.MeanRate(), w.Metric,
 		len(res.Samples), res.Dropped)
+	if act != nil {
+		c := act.Counters()
+		fmt.Printf("# actuation: backend=sysfs attempts=%d retries=%d failovers=%d parks=%d transient=%d permanent=%d\n",
+			c.Attempts, c.Retries, c.Failovers, c.Parks, c.TransientErrs, c.PermanentErrs)
+	}
 	printPubStats()
 	closeTelemetry()
 	if interrupted {

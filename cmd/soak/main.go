@@ -31,6 +31,27 @@ import (
 	"progresscap/internal/spec"
 )
 
+// forceBackend overrides the actuation backend on single-node scenarios
+// when the -backend flag is set. Forcing msr drops any powercap fault
+// plan (those faults only exist on the sysfs path); forcing sysfs is
+// skipped for pinned-DVFS scenarios, which carry no cap daemon. Cluster
+// scenarios pass through untouched.
+func forceBackend(sc spec.Scenario, backend string) spec.Scenario {
+	if backend == "" || sc.Cluster() {
+		return sc
+	}
+	switch backend {
+	case "msr":
+		sc.Operating.Backend = ""
+		sc.Faults.Powercap = nil
+	case "sysfs":
+		if sc.Operating.DVFSMHz == 0 {
+			sc.Operating.Backend = "sysfs"
+		}
+	}
+	return sc
+}
+
 func main() {
 	seeds := flag.Int("seeds", 25, "number of generated scenarios (seeds 1..N)")
 	oneSeed := flag.Uint64("seed", 0, "run exactly this one generator seed (overrides -seeds)")
@@ -39,7 +60,15 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "disk result cache directory shared with cmd/experiments")
 	outDir := flag.String("out", filepath.Join("out", "soak"), "directory for shrunk minimal repros")
 	shrinkBudget := flag.Int("shrinkbudget", soak.DefaultShrinkBudget, "max scenario executions per shrink")
+	backend := flag.String("backend", "", "force the actuation backend on every generated single-node scenario: msr or sysfs (empty = generator's own mix)")
 	flag.Parse()
+
+	switch *backend {
+	case "", "msr", "sysfs":
+	default:
+		fmt.Fprintf(os.Stderr, "soak: unknown backend %q (want msr or sysfs)\n", *backend)
+		os.Exit(2)
+	}
 
 	runner := experiments.NewRunner(*parallel)
 	if *cacheDir != "" {
@@ -83,6 +112,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			sc := spec.Generate(seed)
+			sc = forceBackend(sc, *backend)
 			rep, err := h.RunScenario(sc)
 			results[i] = outcome{sc, rep, err}
 		}(i, seed)
@@ -153,7 +183,12 @@ func main() {
 		shardLine = fmt.Sprintf(", %d cluster epochs over %d shards (peak %d node workers, barrier wait %s)",
 			st.Shards.Epochs, st.Shards.Shards, st.Shards.PeakWorkers, st.Shards.BarrierWait.Round(time.Microsecond))
 	}
-	fmt.Fprintf(os.Stderr, "soak: %d scenarios (%d cluster, %d single), %d failing, %d runs executed, %d served from cache (%d memo, %d disk)%s, wall %s\n",
-		len(list), clusterN, singleN, failures, st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, shardLine, time.Since(start).Round(time.Millisecond))
+	actLine := ""
+	if a := st.Actuation; a.Attempts > 0 {
+		actLine = fmt.Sprintf(", actuation %d attempts (%d retries, %d failovers, %d parks)",
+			a.Attempts, a.Retries, a.Failovers, a.Parks)
+	}
+	fmt.Fprintf(os.Stderr, "soak: %d scenarios (%d cluster, %d single), %d failing, %d runs executed, %d served from cache (%d memo, %d disk)%s%s, wall %s\n",
+		len(list), clusterN, singleN, failures, st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, shardLine, actLine, time.Since(start).Round(time.Millisecond))
 	os.Exit(exit)
 }

@@ -101,6 +101,15 @@ type LeasedConfig struct {
 	// Faults supplies partitions, manager kills/pauses, and node plans;
 	// nil injects nothing.
 	Faults *fault.Injector
+
+	// CapWriter, when set, builds each node's cap-write path: every cap
+	// the cluster applies to that node — lease grants, the boot cap,
+	// reboot quarantine — flows through the returned function instead
+	// of the legacy single-retry register write. This is where a
+	// hardened rapl.Actuator plugs in per node (the engine exposes the
+	// device and clock the actuator needs). Nil keeps the legacy path,
+	// byte-identical to clusters before backends existed.
+	CapWriter func(eng *engine.Engine) func(capW float64) error
 }
 
 func (c *LeasedConfig) validate() error {
@@ -196,6 +205,10 @@ type LeasedNode struct {
 	lastPow  float64
 	capTrace *trace.Series
 	result   *engine.Result
+	// writeCap applies a cap to this node's package domain; set at
+	// cluster construction (LeasedConfig.CapWriter or the legacy
+	// register write).
+	writeCap func(capW float64) error
 }
 
 // NewLeasedNode wraps an engine. The engine must not run its own policy
@@ -369,9 +382,14 @@ func NewLeasedCluster(cfg LeasedConfig, nodes ...*LeasedNode) (*LeasedCluster, e
 		names = append(names, n.name)
 
 		node := n
-		h, err := lease.NewHolder(n.name, safeCap, func(capW float64) error {
-			return rapl.WriteLimitRetry(node.eng.Device(), capW, 10*time.Millisecond)
-		})
+		if cfg.CapWriter != nil {
+			n.writeCap = cfg.CapWriter(n.eng)
+		} else {
+			n.writeCap = func(capW float64) error {
+				return rapl.WriteLimitRetry(node.eng.Device(), capW, 10*time.Millisecond)
+			}
+		}
+		h, err := lease.NewHolder(n.name, safeCap, n.writeCap)
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +398,7 @@ func NewLeasedCluster(cfg LeasedConfig, nodes ...*LeasedNode) (*LeasedCluster, e
 			return nil, err
 		}
 		// Boot cap: the node starts at the safe cap, never uncapped.
-		if err := rapl.WriteLimitRetry(n.eng.Device(), safeCap, 10*time.Millisecond); err != nil {
+		if err := n.writeCap(safeCap); err != nil {
 			return nil, fmt.Errorf("cluster: boot cap on %s: %w", n.name, err)
 		}
 	}
@@ -552,7 +570,7 @@ func (lc *LeasedCluster) Step() (bool, error) {
 					// pre-crash latched cap did not survive the crash, and
 					// its engine clock (frozen for the whole window) must not
 					// keep enforcing a cap whose lease charge expired.
-					if err := rapl.WriteLimitRetry(n.eng.Device(), lc.cfg.Cluster.QuarantineCapW, 10*time.Millisecond); err != nil {
+					if err := n.writeCap(lc.cfg.Cluster.QuarantineCapW); err != nil {
 						return fmt.Errorf("cluster: reboot cap on %s: %w", n.name, err)
 					}
 				}

@@ -7,6 +7,7 @@ import (
 	"progresscap/internal/apps"
 	"progresscap/internal/engine"
 	"progresscap/internal/fault"
+	"progresscap/internal/rapl"
 )
 
 const (
@@ -237,5 +238,47 @@ func TestLeasedClusterBothManagersDeadDecaysToSafeCap(t *testing.T) {
 	assertInvariant(t, res)
 	if res.ExpiredReverts == 0 {
 		t.Error("no deadman trips despite total manager loss")
+	}
+}
+
+// TestLeasedClusterCapWriterHook pins the per-node cap-write hook: when
+// LeasedConfig.CapWriter is set, every cap the cluster applies — boot
+// cap and per-epoch lease grants — flows through it, and the run's
+// outcome matches the default register path (the hook here delegates to
+// the same write, so this is pure plumbing, not a behavior change).
+func TestLeasedClusterCapWriterHook(t *testing.T) {
+	writes := map[*engine.Engine]int{}
+	cfg := LeasedConfig{
+		Policy: EqualSplit{},
+		Budget: ConstantBudget(leasedBudgetW),
+		Faults: fault.NewInjector(fault.Plan{}),
+		CapWriter: func(eng *engine.Engine) func(float64) error {
+			return func(capW float64) error {
+				writes[eng]++
+				return rapl.WriteLimitRetry(eng.Device(), capW, 10*time.Millisecond)
+			}
+		},
+	}
+	lc, err := NewLeasedCluster(cfg,
+		newLeasedTestNode(t, "n0", 1),
+		newLeasedTestNode(t, "n1", 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepEpochs(t, lc, 6)
+	res, err := lc.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertInvariant(t, res)
+	if len(writes) != 2 {
+		t.Fatalf("cap writer built for %d nodes, want 2", len(writes))
+	}
+	for eng, n := range writes {
+		// Boot cap plus at least one granted cap per node.
+		if n < 2 {
+			t.Errorf("node engine %p saw %d hook writes, want >= 2", eng, n)
+		}
 	}
 }

@@ -467,6 +467,20 @@ func (e *Engine) SetScheme(s policy.Scheme) error {
 	return nil
 }
 
+// SetSchemeVia is SetScheme actuating through an explicit CapWriter
+// (e.g. the hardened rapl.Actuator wrapped in rapl.DaemonWriter, which
+// may drive the sysfs powercap backend instead of raw registers). Call
+// before the first Advance.
+func (e *Engine) SetSchemeVia(s policy.Scheme, w policy.CapWriter) error {
+	d, err := policy.NewDaemonVia(w, s, time.Second, 10*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	e.daemon = d
+	e.policyTicker = simtime.NewTicker(0, d.Interval())
+	return nil
+}
+
 // SetFaults installs (or, with nil, removes) a fault-injection layer:
 // progress publishes route through its transport injector, MSR and
 // counter reads through its hooks, and — when the plan asks for an early

@@ -76,6 +76,14 @@ type Options struct {
 	// which is why it is NOT part of any run fingerprint or memo key
 	// (TestFingerprintIgnoresExecutionKnobs pins that).
 	NodeWorkers int
+	// Backend selects the actuation path for single-node scheme runs:
+	// "" or "msr" keeps the legacy register daemon (byte-identical to
+	// pre-backend artifacts), "sysfs" routes every cap through the
+	// hardened actuator over the emulated powercap tree. Unlike the
+	// execution knobs above it IS semantic — sysfs quantizes caps
+	// differently — so it flows into the run fingerprint. Pinned-DVFS
+	// runs carry no cap daemon and ignore it.
+	Backend string
 
 	// runner schedules and memoizes runs. All generators reached through
 	// one Options value (All, or cmd/experiments via WithRunner) share it,
@@ -119,6 +127,13 @@ func (o *Options) fillDefaults() error {
 	}
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	switch o.Backend {
+	case "", "sysfs":
+	case "msr":
+		o.Backend = "" // canonical spelling of the default path
+	default:
+		return fmt.Errorf("experiments: unknown actuation backend %q (want msr or sysfs)", o.Backend)
 	}
 	if o.runner == nil {
 		o.runner = NewRunner(o.Parallel)
@@ -170,7 +185,7 @@ func (a *Artifact) Render() string {
 // capSpec describes one run under a scheme (nil = uncapped). mk must
 // build a fresh workload per call when the spec will be Prefetched.
 func (o Options) capSpec(mk func() *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) RunSpec {
-	return RunSpec{Make: mk, Scheme: scheme, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick}
+	return RunSpec{Make: mk, Scheme: scheme, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick, Backend: o.Backend}
 }
 
 // dvfsSpec describes one run pinned at a frequency with RAPL manual.

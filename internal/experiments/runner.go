@@ -10,7 +10,10 @@ import (
 	"progresscap/internal/cluster"
 	"progresscap/internal/engine"
 	"progresscap/internal/fault"
+	"progresscap/internal/msr"
 	"progresscap/internal/policy"
+	"progresscap/internal/powercap"
+	"progresscap/internal/rapl"
 	"progresscap/internal/spec"
 	"progresscap/internal/workload"
 )
@@ -44,6 +47,21 @@ type RunSpec struct {
 	// engine faultless. Part of the memoization key: a faulted run and a
 	// clean run are different runs.
 	Faults fault.Plan
+	// Backend selects the actuation path: "" or "msr" drives the scheme
+	// through the legacy register daemon (byte-identical to pre-backend
+	// runs), "sysfs" routes it through the hardened actuator over the
+	// emulated powercap tree (with the MSR path as failover). Part of the
+	// memoization key: sysfs floors caps where the MSR path rounds.
+	Backend string
+}
+
+// backend returns the normalized backend name: the explicit "msr"
+// spelling collapses to the default so both key and behave identically.
+func (s RunSpec) backend() string {
+	if s.Backend == "msr" {
+		return ""
+	}
+	return s.Backend
 }
 
 // operatingKey renders the run's operating point for the fingerprint:
@@ -83,6 +101,7 @@ func (s RunSpec) key() string {
 		plan := s.Faults
 		fp.Faults = &plan
 	}
+	fp.Backend = s.backend()
 	return fmt.Sprintf("%s/%s", w.Name, fp.Hash())
 }
 
@@ -105,6 +124,12 @@ type RunnerStats struct {
 	// cluster-level generator that ran through this Runner's suite (see
 	// Runner.RecordShards); zero when no cluster generator ran.
 	Shards cluster.ShardStats
+	// Actuation aggregates hardened-actuator counters (retries,
+	// failovers, parks, virtual backoff) across every executed run that
+	// actuated through a backend; zero when only legacy-path runs
+	// executed. Cached runs contribute nothing — these are execution
+	// statistics, not result content.
+	Actuation rapl.ActuatorCounters
 }
 
 // Runner fans independent experiment runs over a bounded worker pool and
@@ -132,6 +157,9 @@ type Runner struct {
 
 	shardMu sync.Mutex
 	shards  cluster.ShardStats
+
+	actMu     sync.Mutex
+	actuation rapl.ActuatorCounters
 }
 
 // NewRunner returns a Runner executing at most parallel simulations at
@@ -154,13 +182,27 @@ func (r *Runner) Stats() RunnerStats {
 	r.shardMu.Lock()
 	shards := r.shards
 	r.shardMu.Unlock()
+	r.actMu.Lock()
+	actuation := r.actuation
+	r.actMu.Unlock()
 	return RunnerStats{
 		Executed:    r.executed.Load(),
 		CacheHits:   r.hits.Load(),
 		DiskHits:    r.diskHits.Load(),
 		PeakWorkers: int(r.peak.Load()),
 		Shards:      shards,
+		Actuation:   actuation,
 	}
+}
+
+// RecordActuation folds one actuator's counters into the suite totals
+// (runs execute concurrently, hence the lock). Experiments that build
+// their own actuators outside Do also report through this, so parks and
+// failovers always reach the scheduler summary.
+func (r *Runner) RecordActuation(c rapl.ActuatorCounters) {
+	r.actMu.Lock()
+	r.actuation.Merge(c)
+	r.actMu.Unlock()
 }
 
 // RecordShards folds one cluster's shard-pool counters into the suite
@@ -247,7 +289,11 @@ func (r *Runner) execute(spec RunSpec, key string, e *runEntry) {
 		r.diskHits.Add(1)
 		return
 	}
-	e.res, e.err = runOnce(spec)
+	var act *rapl.ActuatorCounters
+	e.res, act, e.err = runOnce(spec)
+	if act != nil {
+		r.RecordActuation(*act)
+	}
 	r.executed.Add(1)
 	if e.err == nil {
 		r.saveCached(key, e.res)
@@ -256,14 +302,15 @@ func (r *Runner) execute(spec RunSpec, key string, e *runEntry) {
 
 // runOnce performs one simulation from scratch: the single execution path
 // every experiment run in the package flows through, so all of them use
-// the same node configuration.
-func runOnce(spec RunSpec) (*engine.Result, error) {
+// the same node configuration. The returned counters are non-nil only
+// when the run actuated through the hardened backend layer.
+func runOnce(spec RunSpec) (*engine.Result, *rapl.ActuatorCounters, error) {
 	cfg := engine.DefaultConfig()
 	cfg.Seed = spec.Seed
 	cfg.FixedTick = spec.FixedTick
 	eng, err := engine.New(cfg, spec.Make())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if spec.Invariants {
 		eng.EnableInvariants(engine.InvariantConfig{})
@@ -271,17 +318,45 @@ func runOnce(spec RunSpec) (*engine.Result, error) {
 	if spec.Faults.Enabled() {
 		eng.SetFaults(fault.NewInjector(spec.Faults))
 	}
+	var act *rapl.Actuator
 	switch {
 	case spec.DVFSMHz > 0:
 		eng.SetManualDVFS(spec.DVFSMHz)
+	case spec.backend() == "sysfs":
+		// The sysfs path always installs a daemon (NoCap when the spec is
+		// uncapped): the backend IS the actuation route, so even an
+		// uncapped run exercises it. The zone shares the engine's device,
+		// and its fault hook comes from the injector's powercap stream.
+		zone := powercap.NewZone(eng.Device(), msr.DefaultUnits())
+		if inj := eng.Faults(); inj != nil {
+			zone.SetFaultHook(inj.Powercap().Hook())
+		}
+		act = rapl.NewActuator(rapl.ActuatorConfig{
+			Backends: []rapl.Backend{
+				powercap.NewBackend(zone),
+				rapl.NewMSRBackend(eng.Device(), 10*time.Millisecond),
+			},
+			Seed: spec.Seed,
+		})
+		scheme := spec.Scheme
+		if scheme == nil {
+			scheme = policy.NoCap{}
+		}
+		if err := eng.SetSchemeVia(scheme, rapl.DaemonWriter{A: act}); err != nil {
+			return nil, nil, err
+		}
 	case spec.Scheme != nil:
 		if err := eng.SetScheme(spec.Scheme); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	res, err := eng.Run(time.Duration(spec.MaxSeconds * float64(time.Second)))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return res, invariantErr(eng)
+	if act != nil {
+		c := act.Counters()
+		return res, &c, invariantErr(eng)
+	}
+	return res, nil, invariantErr(eng)
 }

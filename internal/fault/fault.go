@@ -140,6 +140,12 @@ type Plan struct {
 	PubSub   PubSubPlan
 	MSR      MSRPlan
 	Counters CounterPlan
+	// Powercap injects sysfs powercap-backend faults (see powercap.go).
+	// It is a pointer with omitempty so the canonical serialization of
+	// every pre-existing plan — and therefore every scenario hash, cache
+	// key, and corpus entry — is unchanged when no powercap faults are
+	// declared.
+	Powercap *PowercapPlan `json:",omitempty"`
 	// Nodes maps cluster node names to their fault plans.
 	Nodes map[string]NodePlan
 	// Partitions cut links between named actors (nodes and managers)
@@ -155,6 +161,7 @@ type Plan struct {
 // (modulo Seed) is disabled and behaves exactly like running faultless.
 func (p Plan) Enabled() bool {
 	return p.PubSub.Enabled() || p.MSR.Enabled() || p.Counters.Enabled() ||
+		(p.Powercap != nil && p.Powercap.Enabled()) ||
 		len(p.Nodes) > 0 || len(p.Partitions) > 0 || len(p.Managers) > 0
 }
 
@@ -164,6 +171,7 @@ type Injector struct {
 	pubsub   *PubSub
 	msr      *MSR
 	counters *Counters
+	powercap *Powercap
 	nodes    map[string]*Node
 	links    *Links
 	managers map[string]*Manager
@@ -175,11 +183,16 @@ func NewInjector(plan Plan) *Injector {
 		plan.Seed = 1
 	}
 	root := simtime.NewRNG(plan.Seed)
+	var pcPlan PowercapPlan
+	if plan.Powercap != nil {
+		pcPlan = *plan.Powercap
+	}
 	inj := &Injector{
 		plan:     plan,
 		pubsub:   newPubSub(plan.PubSub, root.Split(1)),
 		msr:      newMSR(plan.MSR, root.Split(2)),
 		counters: newCounters(plan.Counters, root.Split(3)),
+		powercap: newPowercap(pcPlan, root.Split(4)),
 		nodes:    make(map[string]*Node, len(plan.Nodes)),
 		links:    newLinks(plan.Partitions),
 		managers: make(map[string]*Manager, len(plan.Managers)),
@@ -204,6 +217,9 @@ func (i *Injector) MSR() *MSR { return i.msr }
 
 // Counters returns the counter fault generator.
 func (i *Injector) Counters() *Counters { return i.counters }
+
+// Powercap returns the sysfs powercap-backend fault generator.
+func (i *Injector) Powercap() *Powercap { return i.powercap }
 
 // Node returns the named node's fault generator, or nil when the plan
 // has none for it.

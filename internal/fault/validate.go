@@ -157,6 +157,11 @@ func (p Plan) Validate() error {
 	if err := p.Counters.Validate(); err != nil {
 		return err
 	}
+	if p.Powercap != nil {
+		if err := p.Powercap.Validate(); err != nil {
+			return err
+		}
+	}
 	for name, np := range p.Nodes {
 		if err := np.Validate(); err != nil {
 			return fmt.Errorf("fault: node %q: %w", name, err)

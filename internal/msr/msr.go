@@ -422,20 +422,32 @@ func (c *EnergyCounter) Raw() uint64 { return c.raw & 0xFFFFFFFF }
 // below the wrap point.
 func (c *EnergyCounter) SeedRaw(raw uint64) { c.raw = raw }
 
+// EnergyWrapModulus is the modulus of the hardware energy counters: the
+// register image wraps at 32 bits regardless of the unit scale.
+const EnergyWrapModulus = uint64(1) << 32
+
+// WrapDelta returns the forward distance from prev to cur on a counter
+// that wraps at modulus, assuming the counter advanced by less than one
+// full modulus between the two observations (reads must be frequent
+// enough that it wraps at most once, as with real RAPL). It is the one
+// wrap-math primitive shared by every energy consumer: the register-level
+// readers (32-bit raw counts) and the powercap sysfs backend (µJ values
+// wrapping at max_energy_range_uj). modulus must be nonzero.
+func WrapDelta(prev, cur, modulus uint64) uint64 {
+	prev %= modulus
+	cur %= modulus
+	if cur >= prev {
+		return cur - prev
+	}
+	return modulus - prev + cur
+}
+
 // DeltaJoules returns the energy consumed between two successive register
 // reads, handling 32-bit wraparound exactly once (reads must be frequent
 // enough that the counter wraps at most once between them, as with real
 // RAPL).
 func DeltaJoules(prev, cur uint64, u Units) float64 {
-	prev &= 0xFFFFFFFF
-	cur &= 0xFFFFFFFF
-	var d uint64
-	if cur >= prev {
-		d = cur - prev
-	} else {
-		d = (1<<32 - prev) + cur
-	}
-	return float64(d) * u.EnergyUnit()
+	return float64(WrapDelta(prev, cur, EnergyWrapModulus)) * u.EnergyUnit()
 }
 
 // RatioFromMHz converts a core frequency to the 100 MHz bus-ratio encoding

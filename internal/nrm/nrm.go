@@ -25,6 +25,7 @@
 package nrm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -153,6 +154,13 @@ type Config struct {
 	// effect, so a restarted daemon can Restore its pre-crash state
 	// instead of re-calibrating against a still-capped plant.
 	Journal *journal.Writer
+
+	// Actuator, when set, routes every RAPL cap write through the
+	// hardened multi-backend actuator (retry/backoff, health-state
+	// failover, safe-cap park) instead of the legacy single-retry MSR
+	// path. Nil preserves the legacy path byte-for-byte; the actuator's
+	// counters are merged into Counters() so they ride the decision log.
+	Actuator *rapl.Actuator
 }
 
 // Degraded-mode tuning: backoff doubling is bounded, and a long healthy
@@ -677,6 +685,18 @@ func (n *NRM) decide(now time.Duration) Decision {
 // actuate applies a decision through the node's control surfaces.
 func (n *NRM) actuate(dec Decision) error {
 	writeCap := func(watts float64) error {
+		if a := n.cfg.Actuator; a != nil {
+			err := a.WriteCap(dec.At, watts)
+			if errors.Is(err, rapl.ErrAllBackendsDown) {
+				// Parked at the safe cap with the deadman guarding the
+				// register: the safety response already happened, so the
+				// daemon stays up and re-tries next epoch rather than
+				// crash-looping through its restart budget during an
+				// actuation outage.
+				return nil
+			}
+			return err
+		}
 		retries, err := rapl.WriteLimitRetryN(n.eng.Device(), watts, 10*time.Millisecond)
 		n.counters.MSRRetries += retries
 		return err

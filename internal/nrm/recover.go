@@ -6,6 +6,7 @@ import (
 	"progresscap/internal/engine"
 	"progresscap/internal/journal"
 	"progresscap/internal/model"
+	"progresscap/internal/rapl"
 )
 
 // Counters aggregates the NRM's reliability telemetry: every retried or
@@ -26,12 +27,19 @@ type Counters struct {
 	SupervisorRestarts int
 	// Recoveries counts journal-replay restorations (1 after Restore).
 	Recoveries int
+	// Actuation is the hardened actuator's retry/failover/park counter
+	// snapshot, populated only when Config.Actuator is set (the legacy
+	// MSR path reports its retries through MSRRetries instead).
+	Actuation rapl.ActuatorCounters
 }
 
 // Counters returns the current reliability-counter snapshot.
 func (n *NRM) Counters() Counters {
 	c := n.counters
 	c.EnergyReadFailures = n.energy.Failures()
+	if a := n.cfg.Actuator; a != nil {
+		c.Actuation = a.Counters()
+	}
 	return c
 }
 

@@ -129,11 +129,29 @@ func (j Jagged) CapAt(t time.Duration) float64 {
 	return math.Max(w, j.LowW)
 }
 
+// CapWriter is the actuation seam the daemon programs caps through: the
+// default implementation writes the MSR directly (the legacy path,
+// byte-identical to the pre-seam daemon), while the hardened
+// rapl.Actuator is plugged in via rapl.DaemonWriter for runs that want
+// retry/backoff/failover semantics or the sysfs backend.
+type CapWriter interface {
+	// WriteCap programs the cap (watts <= 0 releases it) with the given
+	// RAPL averaging window at virtual time now.
+	WriteCap(now time.Duration, watts float64, window time.Duration) error
+}
+
+// msrWriter is the default register-level CapWriter.
+type msrWriter struct{ dev *msr.Device }
+
+func (w msrWriter) WriteCap(now time.Duration, watts float64, window time.Duration) error {
+	return rapl.WriteLimit(w.dev, watts, window)
+}
+
 // Daemon applies a scheme to the package power limit at a fixed interval
 // (the paper's tool acts once every second). The engine drives it with
 // Apply at each policy tick of virtual time.
 type Daemon struct {
-	dev      *msr.Device
+	writer   CapWriter
 	scheme   Scheme
 	interval time.Duration
 	window   time.Duration
@@ -147,6 +165,16 @@ type Daemon struct {
 // actuation period (1 s in the paper); window the RAPL averaging window
 // programmed alongside the cap.
 func NewDaemon(dev *msr.Device, scheme Scheme, interval, window time.Duration) (*Daemon, error) {
+	return NewDaemonVia(msrWriter{dev: dev}, scheme, interval, window)
+}
+
+// NewDaemonVia is NewDaemon actuating through an explicit CapWriter —
+// the hardened actuator, a sysfs backend, or anything else that can
+// program a cap.
+func NewDaemonVia(w CapWriter, scheme Scheme, interval, window time.Duration) (*Daemon, error) {
+	if w == nil {
+		return nil, fmt.Errorf("policy: nil cap writer")
+	}
 	if scheme == nil {
 		return nil, fmt.Errorf("policy: nil scheme")
 	}
@@ -154,7 +182,7 @@ func NewDaemon(dev *msr.Device, scheme Scheme, interval, window time.Duration) (
 		return nil, fmt.Errorf("policy: non-positive interval/window")
 	}
 	return &Daemon{
-		dev:      dev,
+		writer:   w,
 		scheme:   scheme,
 		interval: interval,
 		window:   window,
@@ -182,7 +210,7 @@ func (d *Daemon) Apply(now time.Duration) error {
 		d.started = true
 	}
 	capW := d.scheme.CapAt(now - d.start)
-	if err := rapl.WriteLimit(d.dev, capW, d.window); err != nil {
+	if err := d.writer.WriteCap(now, capW, d.window); err != nil {
 		return fmt.Errorf("policy: applying %s at %v: %w", d.scheme.Name(), now, err)
 	}
 	d.applied++

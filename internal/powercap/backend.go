@@ -1,0 +1,98 @@
+package powercap
+
+// Backend adapts the sysfs zone to the actuation-backend shape the
+// hardened rapl.Actuator drives (the interface is declared there; this
+// satisfies it structurally, keeping the dependency pointing from rapl
+// to nothing and from here to msr only).
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultSampleCost is the modeled wall-clock cost of one energy_uj
+// sample: a sysfs open/read/parse round-trip is roughly an order of
+// magnitude more expensive than a raw MSR read, which is the
+// monitoring-cost asymmetry the ext-backends experiment sweeps.
+const DefaultSampleCost = 20 * time.Microsecond
+
+// Backend actuates power caps through the sysfs zone.
+type Backend struct {
+	zone *Zone
+}
+
+// NewBackend returns a sysfs actuation backend over the zone.
+func NewBackend(z *Zone) *Backend {
+	if z == nil {
+		panic("powercap: nil zone")
+	}
+	return &Backend{zone: z}
+}
+
+// Name identifies the backend in health journals and counters.
+func (b *Backend) Name() string { return "sysfs" }
+
+// Zone returns the underlying zone (for fault-hook installation).
+func (b *Backend) Zone() *Zone { return b.zone }
+
+// WriteCapW programs the PL1 limit in microwatts and enables the
+// constraint; watts <= 0 disables capping instead, mirroring how
+// real tooling releases a zone. A silently truncated limit write is
+// NOT an error here — only the actuator's read-back verification
+// catches it.
+func (b *Backend) WriteCapW(now time.Duration, watts float64) error {
+	if watts <= 0 {
+		_, err := b.zone.WriteFile(now, FileEnabled, "0\n")
+		return err
+	}
+	uw := uint64(math.Round(watts * 1e6))
+	if _, err := b.zone.WriteFile(now, FilePowerLimitUW, strconv.FormatUint(uw, 10)+"\n"); err != nil {
+		return err
+	}
+	_, err := b.zone.WriteFile(now, FileEnabled, "1\n")
+	return err
+}
+
+// ReadCapW returns the currently programmed PL1 limit in watts and
+// whether the constraint is enabled.
+func (b *Backend) ReadCapW(now time.Duration) (float64, bool, error) {
+	s, err := b.zone.ReadFile(now, FilePowerLimitUW)
+	if err != nil {
+		return 0, false, err
+	}
+	uw, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, false, ErrInval
+	}
+	es, err := b.zone.ReadFile(now, FileEnabled)
+	if err != nil {
+		return 0, false, err
+	}
+	return float64(uw) / 1e6, strings.TrimSpace(es) == "1", nil
+}
+
+// EnergyRaw returns the energy counter image in µJ counts, wrapping at
+// WrapModulus.
+func (b *Backend) EnergyRaw(now time.Duration) (uint64, error) {
+	s, err := b.zone.ReadFile(now, FileEnergyUJ)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, ErrInval
+	}
+	return v, nil
+}
+
+// WrapModulus returns the µJ wrap range of energy_uj.
+func (b *Backend) WrapModulus() uint64 { return b.zone.MaxEnergyRangeUJ() }
+
+// JoulesPerCount returns the energy per raw count: energy_uj counts
+// microjoules.
+func (b *Backend) JoulesPerCount() float64 { return 1e-6 }
+
+// SampleCost returns the modeled cost of one energy sample.
+func (b *Backend) SampleCost() time.Duration { return DefaultSampleCost }

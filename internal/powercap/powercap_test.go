@@ -1,0 +1,241 @@
+package powercap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"progresscap/internal/msr"
+)
+
+func newZone(t *testing.T) (*Zone, *msr.Device) {
+	t.Helper()
+	dev := msr.NewDevice(4, nil)
+	return NewZone(dev, msr.DefaultUnits()), dev
+}
+
+func readUint(t *testing.T, z *Zone, file string) uint64 {
+	t.Helper()
+	s, err := z.ReadFile(0, file)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", file, err)
+	}
+	var v uint64
+	for _, c := range strings.TrimSpace(s) {
+		v = v*10 + uint64(c-'0')
+	}
+	return v
+}
+
+// TestPowerLimitFloorQuantization pins the kernel-style floor-to-unit
+// behavior that distinguishes the sysfs backend from the raw-MSR path's
+// round-to-nearest: 41.6 W floors to 41.5 W here but rounds to 41.625 W
+// through msr.EncodePowerLimit. The two backends must therefore never
+// share a result-cache key.
+func TestPowerLimitFloorQuantization(t *testing.T) {
+	z, dev := newZone(t)
+	if _, err := z.WriteFile(0, FilePowerLimitUW, "41600000\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := readUint(t, z, FilePowerLimitUW); got != 41_500_000 {
+		t.Fatalf("power_limit_uw = %d, want 41500000 (floor)", got)
+	}
+	u := msr.DefaultUnits()
+	reg := msr.EncodePowerLimit(msr.PowerLimit{Watts: 41.6}, u)
+	if got := msr.DecodePowerLimit(reg, u).Watts; got != 41.625 {
+		t.Fatalf("EncodePowerLimit rounds to %g, want 41.625", got)
+	}
+	_ = dev
+}
+
+// TestEnergyUJ checks the µJ scaling and the advertised wrap range.
+func TestEnergyUJ(t *testing.T) {
+	z, dev := newZone(t)
+	dev.Poke(msr.PkgEnergyStatus, 1<<14) // exactly 1 J at EnergyBits=14
+	if got := readUint(t, z, FileEnergyUJ); got != 1_000_000 {
+		t.Fatalf("energy_uj = %d, want 1000000", got)
+	}
+	want := (uint64(1) << 32) * 1_000_000 >> 14
+	if got := readUint(t, z, FileMaxEnergyRangeUJ); got != want {
+		t.Fatalf("max_energy_range_uj = %d, want %d", got, want)
+	}
+	if z.MaxEnergyRangeUJ() != want {
+		t.Fatalf("MaxEnergyRangeUJ() = %d, want %d", z.MaxEnergyRangeUJ(), want)
+	}
+}
+
+// TestEnabledToggle checks the enable round-trip and that writes go
+// through the whitelisted register path (the deadman's write sequence
+// must advance).
+func TestEnabledToggle(t *testing.T) {
+	z, dev := newZone(t)
+	seq0 := dev.WriteSeq(msr.PkgPowerLimit)
+	if _, err := z.WriteFile(0, FileEnabled, "1\n"); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	if s, _ := z.ReadFile(0, FileEnabled); strings.TrimSpace(s) != "1" {
+		t.Fatalf("enabled = %q, want 1", s)
+	}
+	if _, err := z.WriteFile(0, FileEnabled, "0\n"); err != nil {
+		t.Fatalf("disable: %v", err)
+	}
+	if s, _ := z.ReadFile(0, FileEnabled); strings.TrimSpace(s) != "0" {
+		t.Fatalf("enabled = %q, want 0", s)
+	}
+	if seq := dev.WriteSeq(msr.PkgPowerLimit); seq != seq0+2 {
+		t.Fatalf("write seq advanced by %d, want 2", seq-seq0)
+	}
+	if _, err := z.WriteFile(0, FileEnabled, "maybe\n"); !errors.Is(err, ErrInval) {
+		t.Fatalf("bogus enable: err = %v, want ErrInval", err)
+	}
+}
+
+// TestTruncatedWrite checks that a FaultTruncate write latches a digit
+// prefix, reports a short count with a nil error, and is only caught by
+// reading the limit back.
+func TestTruncatedWrite(t *testing.T) {
+	z, _ := newZone(t)
+	z.SetFaultHook(func(op FaultOp, file string, now time.Duration) FaultClass {
+		if op == OpWrite && file == FilePowerLimitUW {
+			return FaultTruncate
+		}
+		return FaultNone
+	})
+	n, err := z.WriteFile(0, FilePowerLimitUW, "42000000")
+	if err != nil {
+		t.Fatalf("truncated write errored: %v", err)
+	}
+	if n >= len("42000000") {
+		t.Fatalf("truncated write reported full count %d", n)
+	}
+	z.SetFaultHook(nil)
+	// "4200" µW floors to raw 0: the truncated store programmed a
+	// zero-watt limit, invisible without read-back verification.
+	if got := readUint(t, z, FilePowerLimitUW); got != 0 {
+		t.Fatalf("latched limit = %d µW, want 0", got)
+	}
+}
+
+// TestStaleEnergy checks that FaultStale serves the previous successful
+// energy_uj snapshot.
+func TestStaleEnergy(t *testing.T) {
+	z, dev := newZone(t)
+	dev.Poke(msr.PkgEnergyStatus, 1<<14)
+	first := readUint(t, z, FileEnergyUJ)
+	dev.Poke(msr.PkgEnergyStatus, 2<<14)
+	z.SetFaultHook(func(op FaultOp, file string, now time.Duration) FaultClass {
+		if op == OpRead && file == FileEnergyUJ {
+			return FaultStale
+		}
+		return FaultNone
+	})
+	if got := readUint(t, z, FileEnergyUJ); got != first {
+		t.Fatalf("stale read = %d, want previous value %d", got, first)
+	}
+	z.SetFaultHook(nil)
+	if got := readUint(t, z, FileEnergyUJ); got != 2*first {
+		t.Fatalf("fresh read = %d, want %d", got, 2*first)
+	}
+}
+
+// TestErrorClasses checks the fault-class → errno mapping and the
+// transient/permanent split the retry classifier keys on.
+func TestErrorClasses(t *testing.T) {
+	z, _ := newZone(t)
+	cases := []struct {
+		class     FaultClass
+		want      *Errno
+		temporary bool
+	}{
+		{FaultAgain, ErrAgain, true},
+		{FaultEIO, ErrIO, true},
+		{FaultPerm, ErrPerm, false},
+		{FaultGone, ErrNoEnt, false},
+	}
+	for _, c := range cases {
+		cls := c.class
+		z.SetFaultHook(func(FaultOp, string, time.Duration) FaultClass { return cls })
+		_, err := z.ReadFile(0, FileEnergyUJ)
+		if !errors.Is(err, c.want) {
+			t.Fatalf("class %d: read err = %v, want %v", c.class, err, c.want)
+		}
+		if _, werr := z.WriteFile(0, FilePowerLimitUW, "1000000"); !errors.Is(werr, c.want) {
+			t.Fatalf("class %d: write err = %v, want %v", c.class, werr, c.want)
+		}
+		var tmp interface{ Temporary() bool }
+		if !errors.As(err, &tmp) || tmp.Temporary() != c.temporary {
+			t.Fatalf("class %d: Temporary() = %v, want %v", c.class, !c.temporary, c.temporary)
+		}
+	}
+}
+
+// TestReadOnlyAndMissingFiles checks EPERM on read-only stores and
+// ENOENT on unknown names.
+func TestReadOnlyAndMissingFiles(t *testing.T) {
+	z, _ := newZone(t)
+	for _, f := range []string{FileName, FileEnergyUJ, FileMaxEnergyRangeUJ} {
+		if _, err := z.WriteFile(0, f, "1"); !errors.Is(err, ErrPerm) {
+			t.Fatalf("write %s: err = %v, want ErrPerm", f, err)
+		}
+	}
+	if _, err := z.ReadFile(0, "constraint_9_power_limit_uw"); !errors.Is(err, ErrNoEnt) {
+		t.Fatalf("unknown read: err = %v, want ErrNoEnt", err)
+	}
+	if _, err := z.WriteFile(0, "constraint_9_power_limit_uw", "1"); !errors.Is(err, ErrNoEnt) {
+		t.Fatalf("unknown write: err = %v, want ErrNoEnt", err)
+	}
+	if s, err := z.ReadFile(0, FileName); err != nil || strings.TrimSpace(s) != "package-0" {
+		t.Fatalf("name = %q, %v", s, err)
+	}
+}
+
+// TestTimeWindowRoundTrip checks the µs window file against the SDM
+// Y/Z encoding.
+func TestTimeWindowRoundTrip(t *testing.T) {
+	z, _ := newZone(t)
+	if _, err := z.WriteFile(0, FileTimeWindowUS, "10000\n"); err != nil {
+		t.Fatalf("write window: %v", err)
+	}
+	got := readUint(t, z, FileTimeWindowUS)
+	// 10 ms is not exactly representable in Y/Z units; accept ±25 %.
+	if got < 7_500 || got > 12_500 {
+		t.Fatalf("time_window_us = %d, want ≈10000", got)
+	}
+}
+
+// TestBackendRoundTrip checks the actuation adapter end to end.
+func TestBackendRoundTrip(t *testing.T) {
+	z, dev := newZone(t)
+	b := NewBackend(z)
+	if b.Name() != "sysfs" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	if err := b.WriteCapW(0, 50); err != nil {
+		t.Fatalf("WriteCapW: %v", err)
+	}
+	w, on, err := b.ReadCapW(0)
+	if err != nil || !on || w != 50 {
+		t.Fatalf("ReadCapW = %g, %v, %v; want 50, true, nil", w, on, err)
+	}
+	if err := b.WriteCapW(0, 0); err != nil {
+		t.Fatalf("WriteCapW(0): %v", err)
+	}
+	if _, on, _ := b.ReadCapW(0); on {
+		t.Fatal("cap still enabled after release")
+	}
+	dev.Poke(msr.PkgEnergyStatus, 3<<14)
+	raw, err := b.EnergyRaw(0)
+	if err != nil || raw != 3_000_000 {
+		t.Fatalf("EnergyRaw = %d, %v; want 3000000", raw, err)
+	}
+	if b.WrapModulus() != z.MaxEnergyRangeUJ() {
+		t.Fatalf("WrapModulus = %d", b.WrapModulus())
+	}
+	if b.JoulesPerCount() != 1e-6 {
+		t.Fatalf("JoulesPerCount = %g", b.JoulesPerCount())
+	}
+	if b.SampleCost() <= 0 {
+		t.Fatalf("SampleCost = %v", b.SampleCost())
+	}
+}

@@ -1,0 +1,240 @@
+package rapl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"progresscap/internal/msr"
+	"progresscap/internal/powercap"
+)
+
+// fakeBackend is a scriptable actuation backend: writeErrs are consumed
+// one per WriteCapW call (nil entries succeed), truncate corrupts the
+// next successful latch the way a short sysfs store does.
+type fakeBackend struct {
+	name      string
+	writeErrs []error
+	readErr   error
+	truncate  bool
+	capW      float64
+	enabled   bool
+	energy    uint64
+	wrap      uint64
+	writes    int
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) WriteCapW(now time.Duration, watts float64) error {
+	f.writes++
+	if len(f.writeErrs) > 0 {
+		err := f.writeErrs[0]
+		f.writeErrs = f.writeErrs[1:]
+		if err != nil {
+			return err
+		}
+	}
+	if f.truncate {
+		f.truncate = false
+		f.capW = watts / 10
+		f.enabled = watts > 0
+		return nil
+	}
+	f.capW = watts
+	f.enabled = watts > 0
+	return nil
+}
+
+func (f *fakeBackend) ReadCapW(now time.Duration) (float64, bool, error) {
+	if f.readErr != nil {
+		return 0, false, f.readErr
+	}
+	return f.capW, f.enabled, nil
+}
+
+func (f *fakeBackend) EnergyRaw(now time.Duration) (uint64, error) { return f.energy, nil }
+
+func (f *fakeBackend) WrapModulus() uint64 {
+	if f.wrap == 0 {
+		return msr.EnergyWrapModulus
+	}
+	return f.wrap
+}
+
+func (f *fakeBackend) JoulesPerCount() float64 { return 1 }
+
+func (f *fakeBackend) SampleCost() time.Duration { return time.Microsecond }
+
+// TestActuatorRetryTransient checks that transient errors are retried
+// with modeled backoff until the write latches.
+func TestActuatorRetryTransient(t *testing.T) {
+	b := &fakeBackend{name: "flaky", writeErrs: []error{powercap.ErrAgain, powercap.ErrIO, nil}}
+	a := NewActuator(ActuatorConfig{Backends: []Backend{b}})
+	if err := a.WriteCap(0, 50); err != nil {
+		t.Fatalf("WriteCap: %v", err)
+	}
+	c := a.Counters()
+	if c.Retries != 2 || c.TransientErrs != 2 {
+		t.Fatalf("counters = %+v, want 2 retries / 2 transients", c)
+	}
+	if c.BackoffVirtual <= 0 {
+		t.Fatal("no virtual backoff accounted")
+	}
+	if b.capW != 50 || !b.enabled {
+		t.Fatalf("cap = %g enabled=%v", b.capW, b.enabled)
+	}
+}
+
+// TestActuatorFailover checks that a permanent error downs the primary
+// and the write lands on the secondary.
+func TestActuatorFailover(t *testing.T) {
+	primary := &fakeBackend{name: "sysfs", writeErrs: []error{powercap.ErrPerm}}
+	secondary := &fakeBackend{name: "msr"}
+	a := NewActuator(ActuatorConfig{Backends: []Backend{primary, secondary}})
+	if err := a.WriteCap(0, 42); err != nil {
+		t.Fatalf("WriteCap: %v", err)
+	}
+	c := a.Counters()
+	if c.Failovers != 1 || c.PermanentErrs != 1 {
+		t.Fatalf("counters = %+v, want 1 failover / 1 permanent", c)
+	}
+	if secondary.capW != 42 {
+		t.Fatalf("secondary cap = %g, want 42", secondary.capW)
+	}
+	st := a.Status()
+	if st[0].Health != HealthDown || st[1].Health != HealthHealthy {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestActuatorPark checks the all-backends-down path: safe cap pushed
+// best-effort, OnPark journaled, error wraps ErrAllBackendsDown.
+func TestActuatorPark(t *testing.T) {
+	bad1 := &fakeBackend{name: "sysfs", writeErrs: []error{powercap.ErrPerm, nil}}
+	bad2 := &fakeBackend{name: "msr", writeErrs: []error{powercap.ErrNoEnt, nil}}
+	var parkedAt float64
+	a := NewActuator(ActuatorConfig{
+		Backends: []Backend{bad1, bad2},
+		SafeCapW: 40,
+		OnPark:   func(now time.Duration, capW float64) { parkedAt = capW },
+	})
+	err := a.WriteCap(0, 90)
+	if !errors.Is(err, ErrAllBackendsDown) {
+		t.Fatalf("err = %v, want ErrAllBackendsDown", err)
+	}
+	if !a.Parked() {
+		t.Fatal("not parked")
+	}
+	if parkedAt != 40 {
+		t.Fatalf("OnPark cap = %g, want 40", parkedAt)
+	}
+	if a.Counters().Parks != 1 {
+		t.Fatalf("Parks = %d", a.Counters().Parks)
+	}
+	// The scripted nil entries let the best-effort park writes land.
+	if bad1.capW != 40 || bad2.capW != 40 {
+		t.Fatalf("park caps = %g / %g, want 40 / 40", bad1.capW, bad2.capW)
+	}
+}
+
+// TestActuatorProbationRecovery walks a backend through down →
+// probation → healthy and checks the cooldown gate.
+func TestActuatorProbationRecovery(t *testing.T) {
+	b := &fakeBackend{name: "sysfs", writeErrs: []error{powercap.ErrPerm}}
+	spare := &fakeBackend{name: "msr"}
+	a := NewActuator(ActuatorConfig{
+		Backends:     []Backend{b, spare},
+		Cooldown:     100 * time.Millisecond,
+		ProbationOps: 2,
+	})
+	if err := a.WriteCap(0, 50); err != nil { // downs b, lands on spare
+		t.Fatalf("WriteCap: %v", err)
+	}
+	// Before the cooldown b stays skipped.
+	if err := a.WriteCap(50*time.Millisecond, 51); err != nil {
+		t.Fatalf("WriteCap: %v", err)
+	}
+	if b.writes != 1 {
+		t.Fatalf("down backend driven %d times during cooldown, want 1", b.writes)
+	}
+	// After the cooldown b re-enters on probation and redeems itself.
+	for i, at := range []time.Duration{200, 300} {
+		if err := a.WriteCap(at*time.Millisecond, 52+float64(i)); err != nil {
+			t.Fatalf("WriteCap probation %d: %v", i, err)
+		}
+	}
+	if st := a.Status(); st[0].Health != HealthHealthy {
+		t.Fatalf("primary health = %v after clean probation, want healthy", st[0].Health)
+	}
+}
+
+// TestActuatorCatchesTruncatedWrite drives a real powercap zone whose
+// limit write truncates once: only read-back verification notices, and
+// the retry must land the full cap.
+func TestActuatorCatchesTruncatedWrite(t *testing.T) {
+	dev := msr.NewDevice(4, nil)
+	z := powercap.NewZone(dev, msr.DefaultUnits())
+	fired := false
+	z.SetFaultHook(func(op powercap.FaultOp, file string, now time.Duration) powercap.FaultClass {
+		if !fired && op == powercap.OpWrite && file == powercap.FilePowerLimitUW {
+			fired = true
+			return powercap.FaultTruncate
+		}
+		return powercap.FaultNone
+	})
+	a := NewActuator(ActuatorConfig{Backends: []Backend{powercap.NewBackend(z)}})
+	if err := a.WriteCap(0, 50); err != nil {
+		t.Fatalf("WriteCap: %v", err)
+	}
+	if c := a.Counters(); c.Retries == 0 {
+		t.Fatal("truncated write latched without a verify-triggered retry")
+	}
+	w, on, err := powercap.NewBackend(z).ReadCapW(0)
+	if err != nil || !on || w != 50 {
+		t.Fatalf("final cap = %g, %v, %v; want 50, true", w, on, err)
+	}
+}
+
+// TestActuatorDeterministic checks that identical seeds and fault
+// scripts produce identical counters.
+func TestActuatorDeterministic(t *testing.T) {
+	run := func() ActuatorCounters {
+		b := &fakeBackend{name: "sysfs", writeErrs: []error{
+			powercap.ErrAgain, powercap.ErrAgain, nil, powercap.ErrIO, nil,
+		}}
+		a := NewActuator(ActuatorConfig{Backends: []Backend{b}, Seed: 7})
+		for i := 0; i < 3; i++ {
+			if err := a.WriteCap(time.Duration(i)*time.Second, 50+float64(i)); err != nil {
+				t.Fatalf("WriteCap %d: %v", i, err)
+			}
+		}
+		return a.Counters()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("counters diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestSamplerWrap checks wrap-safe energy accumulation and overhead
+// accounting through the sampler.
+func TestSamplerWrap(t *testing.T) {
+	b := &fakeBackend{name: "fake", wrap: 1000}
+	s := NewSampler(b, 10*time.Millisecond)
+	b.energy = 990
+	if _, ok := s.Poll(0); !ok {
+		t.Fatal("prime poll failed")
+	}
+	b.energy = 15 // wrapped: 990 → 15 is 25 counts forward
+	dJ, ok := s.Poll(10 * time.Millisecond)
+	if !ok || dJ != 25 {
+		t.Fatalf("dJ = %g, want 25", dJ)
+	}
+	if s.TotalJ() != 25 {
+		t.Fatalf("TotalJ = %g", s.TotalJ())
+	}
+	samples, failures, overhead := s.Stats()
+	if samples != 2 || failures != 0 || overhead != 2*time.Microsecond {
+		t.Fatalf("stats = %d, %d, %v", samples, failures, overhead)
+	}
+}

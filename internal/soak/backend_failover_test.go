@@ -1,0 +1,197 @@
+package soak
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/engine"
+	"progresscap/internal/fault"
+	"progresscap/internal/journal"
+	"progresscap/internal/msr"
+	"progresscap/internal/nrm"
+	"progresscap/internal/powercap"
+	"progresscap/internal/rapl"
+	"progresscap/internal/simtime"
+	"progresscap/internal/supervise"
+)
+
+// TestSupervisedBackendFailoverProperty is the seeded property test for
+// the hardened actuation stack under a flapping sysfs backend AND a
+// crashing control daemon at once. Per seed it draws a powercap fault
+// schedule (EAGAIN/EIO/truncate rates plus a transient tree
+// disappearance), a daemon kill time, and whether the actuator has the
+// register path to fail over to or must park; the supervised NRM runs
+// through all of it. Two invariants must survive every seed:
+//
+//  1. Budget: once calibration is over, the cap latched in the RAPL
+//     register never exceeds the budget — flapping writes, parks, and
+//     daemon restarts may change WHICH safe value is enforced, never
+//     push it above the budget.
+//  2. Re-arm: the register is never left uncapped. Between the daemon
+//     (re-arming per epoch), the actuator (parking the safe cap), and
+//     the deadman (reverting within one TTL), some enforceable cap is
+//     always armed — so recovery from any outage happens within one
+//     lease TTL plus one epoch.
+func TestSupervisedBackendFailoverProperty(t *testing.T) {
+	const (
+		budgetW  = 110.0
+		safeCapW = 60.0
+		ttl      = 2 * time.Second
+		dur      = 24 * time.Second
+		// calibration epochs run uncapped by design; add the first
+		// post-calibration epoch and one TTL of settling.
+		graceSec = 3 + 1 + 2
+		// both MSR round-to-nearest and sysfs floor quantize within 1/8 W.
+		quantTolW = 0.13
+	)
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := simtime.NewRNG(seed)
+			pc := &fault.PowercapPlan{
+				WriteAgainRate: 0.10 + 0.20*rng.Float64(),
+				WriteEIORate:   0.10 * rng.Float64(),
+				TruncateRate:   0.05 * rng.Float64(),
+				ReadAgainRate:  0.10 * rng.Float64(),
+			}
+			goneFrom := time.Duration(6+rng.Intn(8)) * time.Second
+			goneTo := goneFrom + time.Duration(1+rng.Intn(2))*time.Second
+			pc.GoneWindows = []fault.Window{{From: goneFrom, To: goneTo}}
+			killAt := time.Duration(8+rng.Intn(8))*time.Second + 500*time.Millisecond
+			withFailover := rng.Intn(2) == 0
+
+			cfg := engine.DefaultConfig()
+			cfg.Seed = seed
+			e, err := engine.New(cfg, apps.LAMMPS(apps.DefaultRanks, 5000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := fault.NewInjector(fault.Plan{Seed: seed | 1, Powercap: pc})
+			e.SetFaults(inj)
+			zone := powercap.NewZone(e.Device(), msr.DefaultUnits())
+			zone.SetFaultHook(inj.Powercap().Hook())
+
+			backends := []rapl.Backend{powercap.NewBackend(zone)}
+			if withFailover {
+				backends = append(backends, rapl.NewMSRBackend(e.Device(), 10*time.Millisecond))
+			}
+			act := rapl.NewActuator(rapl.ActuatorConfig{
+				Backends: backends,
+				SafeCapW: safeCapW,
+				Seed:     seed,
+			})
+			if err := e.SetDeadman(rapl.Deadman{TTL: ttl, DefaultCapW: safeCapW}); err != nil {
+				t.Fatal(err)
+			}
+
+			registerCap := func() float64 {
+				raw, err := e.Device().Read(msr.PkgPowerLimit)
+				if err != nil {
+					return -1
+				}
+				pl1, _ := msr.DecodePowerLimits(raw, msr.DefaultUnits())
+				if !pl1.Enabled {
+					return 0
+				}
+				return pl1.Watts
+			}
+
+			type capSample struct {
+				at   time.Duration
+				capW float64
+			}
+			var caps []capSample
+			var img bytes.Buffer
+			var n *nrm.NRM
+			killed := false
+			sup := supervise.New(supervise.Options{
+				MaxRestarts: 5,
+				Backoff:     time.Second,
+				Sleep:       func(d time.Duration) { _, _ = e.Advance(d) },
+			})
+			unit := supervise.Unit{
+				Name: "nrm",
+				Start: func(attempt int) (func() error, error) {
+					cfgN := nrm.Config{
+						Beta:         1.0,
+						DegradedCapW: safeCapW,
+						Journal:      journal.NewWriter(&img),
+						Actuator:     act,
+					}
+					var nerr error
+					if attempt == 0 {
+						n, nerr = nrm.New(cfgN, e)
+					} else {
+						recs, _, rerr := journal.ReplayBytes(img.Bytes())
+						if rerr != nil {
+							return nil, rerr
+						}
+						n, nerr = nrm.Restore(cfgN, e, journal.Recover(recs))
+					}
+					if nerr != nil {
+						return nil, nerr
+					}
+					n.SetBudget(budgetW)
+					n.RecordSupervisorRestarts(attempt)
+					return func() error {
+						for {
+							if !killed && e.Clock().Now() >= killAt {
+								killed = true
+								panic("chaos: nrm killed mid-epoch")
+							}
+							done, serr := n.Step()
+							if serr != nil {
+								return serr
+							}
+							caps = append(caps, capSample{e.Clock().Now(), registerCap()})
+							if done || e.Clock().Now() >= dur {
+								return nil
+							}
+						}
+					}, nil
+				},
+			}
+			if err := sup.Supervise(unit); err != nil {
+				t.Fatalf("supervise: %v", err)
+			}
+			if !killed {
+				t.Fatal("kill never fired; property not exercised")
+			}
+
+			for _, s := range caps {
+				if s.at < graceSec*time.Second {
+					continue
+				}
+				if s.capW <= 0 {
+					t.Errorf("register uncapped at %v (cap must always be armed after calibration)", s.at)
+				}
+				if s.capW > budgetW+quantTolW {
+					t.Errorf("register cap %.3f W above the %.0f W budget at %v", s.capW, budgetW, s.at)
+				}
+			}
+			// The flapping schedule must have actually bitten, and the
+			// actuator must not be left parked once the tree is back.
+			c := act.Counters()
+			if c.TransientErrs == 0 {
+				t.Error("no transient errors despite the flapping schedule")
+			}
+			if withFailover && c.Parks > 0 {
+				t.Errorf("%d parks despite register failover", c.Parks)
+			}
+			if !withFailover && c.Parks == 0 {
+				t.Error("tree disappearance never parked the single-backend actuator")
+			}
+			// Deliberately NOT asserted: act.Parked() == false at the end.
+			// Under a continuous flapping schedule the final epoch's write
+			// may legitimately exhaust and park; the property is that the
+			// register stays armed at or below the budget throughout —
+			// checked above — not that the last roll of the dice landed.
+			if _, err := e.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

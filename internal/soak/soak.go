@@ -145,6 +145,7 @@ func (h *Harness) runSingle(sc spec.Scenario, rep *Report) error {
 		MaxSeconds: sc.HorizonSec,
 		Invariants: true,
 		Faults:     sc.Faults,
+		Backend:    sc.Operating.Backend,
 	}
 	res, err := h.runner().Do(rs)
 	if err != nil {

@@ -90,6 +90,12 @@ type RunFingerprint struct {
 	// (the common case, kept out of the JSON so pre-fault keys and
 	// fault-free keys coincide structurally).
 	Faults *fault.Plan `json:"faults,omitempty"`
+	// Backend is the actuation backend; "" is the register-level default
+	// (omitted, so pre-backend cache keys are unchanged). It MUST key the
+	// cache: sysfs floors caps to µW-quantized register units where the
+	// MSR path rounds to nearest, so the same scheme produces different
+	// power traces per backend.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Hash returns the fingerprint's content hash (SHA-256 of the canonical

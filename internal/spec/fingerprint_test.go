@@ -14,9 +14,12 @@ import (
 // (update the want list AND bump Version so stale cache entries cannot
 // alias the new meaning) or leaked an execution knob (remove it).
 func TestRunFingerprintFieldSet(t *testing.T) {
+	// Backend rides without a Version bump: "" is omitted from the JSON,
+	// so every pre-backend cache key still means exactly the MSR path —
+	// no stale entry can alias a sysfs result.
 	want := []string{
 		"Version", "Workload", "Operating", "Seed",
-		"MaxSeconds", "Invariants", "FixedTick", "Faults",
+		"MaxSeconds", "Invariants", "FixedTick", "Faults", "Backend",
 	}
 	typ := reflect.TypeOf(RunFingerprint{})
 	var got []string
@@ -30,5 +33,25 @@ func TestRunFingerprintFieldSet(t *testing.T) {
 		if _, ok := typ.FieldByName(banned); ok {
 			t.Fatalf("execution knob %s leaked into the run fingerprint", banned)
 		}
+	}
+}
+
+// TestRunFingerprintBackendKeysCache pins the backend's cache-key
+// semantics: the sysfs backend floors caps to the register unit where
+// the MSR path rounds to nearest, so the two must hash differently —
+// while the empty backend must hash identically to a pre-backend
+// fingerprint (the field is omitted) so existing disk caches stay
+// valid.
+func TestRunFingerprintBackendKeysCache(t *testing.T) {
+	base := RunFingerprint{Version: 1, Operating: "scheme:constant(50)", Seed: 1, MaxSeconds: 6}
+	sysfs := base
+	sysfs.Backend = "sysfs"
+	if base.Hash() == sysfs.Hash() {
+		t.Fatal("sysfs backend does not key the cache: hash equals the MSR default's")
+	}
+	msr := base
+	msr.Backend = ""
+	if base.Hash() != msr.Hash() {
+		t.Fatal("empty backend changed the hash; pre-backend cache entries would be orphaned")
 	}
 }

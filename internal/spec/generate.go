@@ -122,6 +122,37 @@ func generateSingle(s *Scenario, rng *simtime.RNG) {
 		s.Faults.Counters.GlitchRate = 0.01 * float64(1+rng.Intn(3))
 		s.Faults.Counters.GlitchScale = 1024
 	}
+
+	// Sysfs-backend scenarios: a fraction of single-node runs actuate
+	// through the hardened powercap path under its own fault plan. These
+	// draws sit strictly after every pre-existing draw, so all earlier
+	// fields of every seed are exactly what they were before backends
+	// existed.
+	if s.Operating.DVFSMHz == 0 && rng.Intn(4) == 0 {
+		s.Operating.Backend = "sysfs"
+		pc := &fault.PowercapPlan{}
+		if rng.Intn(2) == 0 {
+			pc.WriteAgainRate = 0.05 * float64(rng.Intn(4)) // 0..0.15
+			pc.ReadAgainRate = 0.05 * float64(rng.Intn(3))
+		}
+		if rng.Intn(3) == 0 {
+			pc.WriteEIORate = 0.02 * float64(rng.Intn(3))
+			pc.ReadEIORate = 0.02 * float64(rng.Intn(3))
+		}
+		if rng.Intn(3) == 0 {
+			pc.TruncateRate = 0.02 * float64(1+rng.Intn(3))
+		}
+		if rng.Intn(3) == 0 {
+			pc.StaleEnergyRate = 0.05 * float64(1+rng.Intn(3))
+		}
+		if rng.Intn(4) == 0 {
+			from := secs(pickSec(rng, 2, int(dur)-2))
+			pc.GoneWindows = []fault.Window{{From: from, To: from + secs(1)}}
+		}
+		if pc.Enabled() {
+			s.Faults.Powercap = pc
+		}
+	}
 }
 
 func generateCluster(s *Scenario, rng *simtime.RNG) {

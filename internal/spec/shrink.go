@@ -97,6 +97,20 @@ func (s Scenario) ShrinkSteps() []Scenario {
 		c.Faults.Counters = fault.CounterPlan{}
 		propose(c)
 	}
+	if s.Faults.Powercap != nil && s.Faults.Powercap.Enabled() {
+		c := s
+		c.Faults.Powercap = nil
+		propose(c)
+	}
+
+	// 5b. Fall back from the sysfs backend to the register default
+	// (validates only once the powercap faults are gone, so the shrinker
+	// drops the faults first and then the backend).
+	if s.Operating.Backend != "" {
+		c := s
+		c.Operating.Backend = ""
+		propose(c)
+	}
 
 	// 6. Drop the operating point back to uncapped.
 	if !s.Operating.Scheme.Uncapped() || s.Operating.DVFSMHz != 0 {

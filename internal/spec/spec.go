@@ -163,6 +163,13 @@ type OperatingPoint struct {
 	// DVFSMHz, when positive, pins the frequency with RAPL in manual
 	// mode; the scheme must then be uncapped. Single-node only.
 	DVFSMHz float64 `json:"dvfs_mhz,omitempty"`
+	// Backend selects the power-actuation path: "" or "msr" is the
+	// register-level default (byte-identical to pre-backend scenarios,
+	// and omitted from the canonical JSON), "sysfs" actuates through the
+	// hardened actuator over the emulated powercap tree — which floors
+	// caps to the register unit where the MSR path rounds, so the two
+	// backends are distinct cache keys. Single-node only.
+	Backend string `json:"backend,omitempty"`
 }
 
 // FleetSpec shapes the simulated fleet. Nodes == 1 runs one engine under
@@ -261,6 +268,11 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("spec: pinned DVFS and a capping scheme are mutually exclusive")
 		}
 	}
+	switch s.Operating.Backend {
+	case "", "msr", "sysfs":
+	default:
+		return fmt.Errorf("spec: unknown actuation backend %q (want msr or sysfs)", s.Operating.Backend)
+	}
 	if err := s.Faults.Validate(); err != nil {
 		return err
 	}
@@ -283,6 +295,14 @@ func (s Scenario) validateSingle() error {
 	if len(s.Faults.Nodes) > 0 || len(s.Faults.Managers) > 0 || len(s.Faults.Partitions) > 0 {
 		return fmt.Errorf("spec: node/manager/partition faults on a single-node scenario")
 	}
+	// Powercap faults only perturb the sysfs actuation path; on the MSR
+	// backend they would be silent no-ops, which is always a spec bug.
+	if s.Faults.Powercap != nil && s.Faults.Powercap.Enabled() && s.Operating.Backend != "sysfs" {
+		return fmt.Errorf("spec: powercap faults require the sysfs backend, got %q", s.Operating.Backend)
+	}
+	if s.Operating.Backend == "sysfs" && s.Operating.DVFSMHz != 0 {
+		return fmt.Errorf("spec: sysfs backend actuates caps; pinned DVFS has no cap daemon to reroute")
+	}
 	return nil
 }
 
@@ -290,8 +310,11 @@ func (s Scenario) validateCluster() error {
 	if s.Fleet.Nodes > 16 {
 		return fmt.Errorf("spec: fleet of %d nodes above the soak bound of 16", s.Fleet.Nodes)
 	}
-	if !s.Operating.Scheme.Uncapped() || s.Operating.DVFSMHz != 0 {
+	if !s.Operating.Scheme.Uncapped() || s.Operating.DVFSMHz != 0 || s.Operating.Backend != "" {
 		return fmt.Errorf("spec: cluster scenarios carry no operating point (the lease arbiter owns the caps)")
+	}
+	if s.Faults.Powercap != nil && s.Faults.Powercap.Enabled() {
+		return fmt.Errorf("spec: powercap faults on a cluster scenario (nodes actuate through the lease arbiter)")
 	}
 	if s.Epochs() < 2 {
 		return fmt.Errorf("spec: cluster horizon %g s is under 2 manager epochs", s.HorizonSec)
@@ -433,5 +456,16 @@ func (s Scenario) FaultCount() int {
 		}
 	}
 	n += len(s.Faults.Partitions)
+	if pc := s.Faults.Powercap; pc != nil {
+		for _, r := range []float64{
+			pc.ReadAgainRate, pc.WriteAgainRate, pc.ReadEIORate,
+			pc.WriteEIORate, pc.TruncateRate, pc.StaleEnergyRate,
+		} {
+			if r > 0 {
+				n++
+			}
+		}
+		n += len(pc.PermWindows) + len(pc.GoneWindows)
+	}
 	return n
 }
