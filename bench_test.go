@@ -231,6 +231,89 @@ func BenchmarkClusterEpochSerial(b *testing.B) { benchClusterEpochs(b, 1) }
 // startup and the epoch barrier).
 func BenchmarkClusterEpochParallel(b *testing.B) { benchClusterEpochs(b, 0) }
 
+// --- checkpoint/fork benchmarks ---
+
+// BenchmarkCheckpointResume prices the fork substrate itself: one deep
+// Checkpoint of a capped mid-run engine plus one Resume onto a freshly
+// constructed twin (engine construction is off the clock; the replayed
+// generator calls inside Resume are part of its honest cost).
+func BenchmarkCheckpointResume(b *testing.B) {
+	mk := func() *engine.Engine {
+		cfg := engine.DefaultConfig()
+		e, err := engine.New(cfg, apps.STREAM(apps.DefaultRanks, 100000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.SetScheme(policy.Constant{Watts: 110}); err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	donor := mk()
+	if err := donor.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := donor.Advance(6 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ck, err := donor.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		fresh := mk()
+		b.StartTimer()
+		if err := fresh.Resume(ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchForkSweep runs a sweep-heavy cell ladder — six Step schemes that
+// share an 8-second uncapped-prefix and diverge in their low-cap phase —
+// through one serial Runner, from scratch or with checkpoint forking.
+// benchreport derives fork_speedup from the Scratch/Forked ns/op pair
+// and fork_hit_rate from the custom metrics.
+func benchForkSweep(b *testing.B, forking bool) {
+	lows := []float64{70, 80, 90, 100, 110, 120}
+	b.ReportAllocs()
+	var hits, runs uint64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(1)
+		for _, low := range lows {
+			rs := experiments.RunSpec{
+				Make:       func() *workload.Workload { return apps.STREAM(apps.DefaultRanks, 100000) },
+				Scheme:     policy.Step{HighW: 140, LowW: low, HighFor: 8 * time.Second, LowFor: 4 * time.Second},
+				Seed:       1,
+				MaxSeconds: 12,
+				Forking:    forking,
+			}
+			if _, err := r.Do(rs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := r.Stats()
+		hits += st.ForkHits
+		runs += st.ForkRuns
+	}
+	if forking {
+		b.ReportMetric(float64(hits)/float64(b.N), "fork_hits")
+		b.ReportMetric(float64(runs)/float64(b.N), "fork_runs")
+	}
+}
+
+// BenchmarkForkSweepScratch is the ladder with every cell simulated in
+// full — the pre-fork cost of the sweep.
+func BenchmarkForkSweepScratch(b *testing.B) { benchForkSweep(b, false) }
+
+// BenchmarkForkSweepForked is the same ladder with prefix forking: the
+// first cell simulates 12 virtual seconds, the other five fork from its
+// pooled depth-8 checkpoint and simulate only their divergent tails.
+func BenchmarkForkSweepForked(b *testing.B) { benchForkSweep(b, true) }
+
 // --- substrate micro-benchmarks ---
 
 // BenchmarkEngineTicks measures raw co-simulation throughput: virtual

@@ -223,30 +223,45 @@ func (rep *Report) addBenchmark(b Benchmark) {
 }
 
 // addDerivedMetrics computes cross-benchmark metrics the raw testing.B
-// lines cannot express. Currently: for every Serial/Parallel benchmark
-// pair (BenchmarkXSerial / BenchmarkXParallel), the Parallel entry gains
-// a parallel_speedup metric — serial ns/op over parallel ns/op — so the
-// sharding win is tracked as a first-class number in the baseline.
+// lines cannot express. For every Serial/Parallel benchmark pair
+// (BenchmarkXSerial / BenchmarkXParallel), the Parallel entry gains a
+// parallel_speedup metric — serial ns/op over parallel ns/op — so the
+// sharding win is tracked as a first-class number in the baseline. A
+// Scratch/Forked pair gains fork_speedup on the Forked entry the same
+// way, and any benchmark reporting fork_hits/fork_runs custom metrics
+// gains fork_hit_rate, tracking checkpoint-pool effectiveness.
 func addDerivedMetrics(rep *Report) {
 	serial := map[string]float64{}
+	scratch := map[string]float64{}
 	for _, b := range rep.Benchmarks {
 		if base, ok := strings.CutSuffix(b.Name, "Serial"); ok {
 			if ns := b.Metrics["ns/op"]; ns > 0 {
 				serial[base] = ns
 			}
 		}
+		if base, ok := strings.CutSuffix(b.Name, "Scratch"); ok {
+			if ns := b.Metrics["ns/op"]; ns > 0 {
+				scratch[base] = ns
+			}
+		}
 	}
 	for _, b := range rep.Benchmarks {
-		base, ok := strings.CutSuffix(b.Name, "Parallel")
-		if !ok {
-			continue
+		if base, ok := strings.CutSuffix(b.Name, "Parallel"); ok {
+			if sns, ok := serial[base]; ok {
+				if pns := b.Metrics["ns/op"]; pns > 0 {
+					b.Metrics["parallel_speedup"] = sns / pns
+				}
+			}
 		}
-		sns, ok := serial[base]
-		if !ok {
-			continue
+		if base, ok := strings.CutSuffix(b.Name, "Forked"); ok {
+			if sns, ok := scratch[base]; ok {
+				if fns := b.Metrics["ns/op"]; fns > 0 {
+					b.Metrics["fork_speedup"] = sns / fns
+				}
+			}
 		}
-		if pns := b.Metrics["ns/op"]; pns > 0 {
-			b.Metrics["parallel_speedup"] = sns / pns
+		if runs := b.Metrics["fork_runs"]; runs > 0 {
+			b.Metrics["fork_hit_rate"] = b.Metrics["fork_hits"] / runs
 		}
 	}
 }
@@ -283,10 +298,14 @@ func loadReport(path string) (*Report, error) {
 
 // lowerIsBetter reports whether a metric improves by shrinking. Rates
 // (anything per second, like the engine's virtual-s/s) grow when things
-// get faster, as do derived ratios like parallel_speedup; costs (ns/op,
-// B/op, allocs/op) shrink.
+// get faster, as do derived ratios like parallel_speedup, fork_speedup,
+// and fork_hit_rate; costs (ns/op, B/op, allocs/op) shrink.
 func lowerIsBetter(unit string) bool {
-	return !strings.HasSuffix(unit, "/s") && unit != "parallel_speedup"
+	switch unit {
+	case "parallel_speedup", "fork_speedup", "fork_hit_rate", "fork_hits", "fork_runs":
+		return false
+	}
+	return !strings.HasSuffix(unit, "/s")
 }
 
 // runDiff compares old vs new per benchmark and per metric, prints the
@@ -336,6 +355,10 @@ func runDiff(args []string, regressPct float64, preferEmbedded bool, w io.Writer
 	fmt.Fprintln(tw, "benchmark\tmetric\told\tnew\tdelta")
 	var regressions []string
 	matched := 0
+	newBy := map[string]bool{}
+	for _, nb := range newRep.Benchmarks {
+		newBy[nb.Name] = true
+	}
 	for _, nb := range newRep.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
@@ -373,6 +396,14 @@ func runDiff(args []string, regressPct float64, preferEmbedded bool, w io.Writer
 				}
 			}
 			fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%+.1f%%%s\n", nb.Name, u, ov, nv, pct, marker)
+		}
+	}
+	// One-sided benchmarks are informational, never failures: a renamed
+	// or retired benchmark should read as "gone" in the table, not
+	// silently vanish from the comparison.
+	for _, ob := range oldRep.Benchmarks {
+		if !newBy[ob.Name] {
+			fmt.Fprintf(tw, "%s\t(gone)\t-\t-\t-\n", ob.Name)
 		}
 	}
 	tw.Flush()

@@ -72,8 +72,10 @@ func main() {
 	svgDir := flag.String("svg", "", "also write each artifact's figures as SVG files into this directory")
 	fixedTick := flag.Bool("fixedtick", false, "run every engine in fixed-tick oracle mode instead of event-driven macro-stepping (validation; output is identical)")
 	backend := flag.String("backend", "msr", "power-actuation backend for capped runs: msr (register daemon) or sysfs (hardened actuator over the emulated powercap tree)")
+	forking := flag.Bool("forking", false, "fork sweep cells from pooled engine checkpoints where they share a simulation prefix; results are identical at any setting")
 	specFile := flag.String("spec", "", "replay one scenario spec JSON (e.g. a soak repro) under the full oracle battery instead of generating artifacts; exits 1 on violation")
 	cacheDir := flag.String("cachedir", "", "back the run memo table with a disk cache in this directory, shared across invocations")
+	cachePrune := flag.Duration("cacheprune", 0, "before running, evict -cachedir entries older than this age (e.g. 168h); 0 = never")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the suite) here")
 	flag.Parse()
@@ -105,6 +107,16 @@ func main() {
 	// (e.g. the Table 6 / Figure 4 characterizations) simulate once.
 	runner := experiments.NewRunner(*parallel)
 	if *cacheDir != "" {
+		if *cachePrune > 0 {
+			removed, freed, err := experiments.PruneDiskCache(*cacheDir, *cachePrune, time.Now())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			if removed > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: cache prune: %d entries older than %s removed, %d bytes freed\n", removed, *cachePrune, freed)
+			}
+		}
 		if err := runner.EnableDiskCache(*cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
@@ -122,6 +134,7 @@ func main() {
 		FixedTick:       *fixedTick,
 		NodeWorkers:     *nodeWorkers,
 		Backend:         *backend,
+		Forking:         *forking,
 	}.WithRunner(runner)
 	start := time.Now()
 
@@ -214,8 +227,13 @@ func main() {
 		actLine = fmt.Sprintf(", actuation %d attempts (%d retries, %d failovers, %d parks)",
 			a.Attempts, a.Retries, a.Failovers, a.Parks)
 	}
-	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache (%d memo, %d disk), peak %d/%d workers%s%s, wall %s\n",
-		st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, st.PeakWorkers, runner.Parallel(), shardLine, actLine, time.Since(start).Round(time.Millisecond))
+	forkLine := ""
+	if st.ForkRuns > 0 {
+		forkLine = fmt.Sprintf(", %d/%d runs forked from shared prefixes (%d virtual s skipped)",
+			st.ForkHits, st.ForkRuns, st.ForkSkippedSec)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %d runs executed, %d served from cache (%d memo, %d disk), peak %d/%d workers%s%s%s, wall %s\n",
+		st.Executed, st.CacheHits+st.DiskHits, st.CacheHits, st.DiskHits, st.PeakWorkers, runner.Parallel(), shardLine, actLine, forkLine, time.Since(start).Round(time.Millisecond))
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {

@@ -1,0 +1,68 @@
+// Checkpoint accessors. Bank state is read and written through the
+// atomics directly, never through observe(): a snapshot must capture the
+// simulation's ground truth without consuming fault-injection randomness,
+// and a restore must not look like a read to the fault layer.
+
+package counters
+
+import "time"
+
+// BankState is a flat copy of every counter cell
+// (index = core*numEvents + event), matching the bank's internal layout.
+type BankState struct {
+	Vals []uint64
+}
+
+// SnapshotState captures every counter cell raw (no read hook applied).
+func (b *Bank) SnapshotState() BankState {
+	out := make([]uint64, len(b.vals))
+	for i := range b.vals {
+		out[i] = b.vals[i].Load()
+	}
+	return BankState{Vals: out}
+}
+
+// RestoreState pours captured cells back. The state must come from a
+// bank with the same core count.
+func (b *Bank) RestoreState(s BankState) {
+	if len(s.Vals) != len(b.vals) {
+		panic("counters: bank state size mismatch")
+	}
+	for i, v := range s.Vals {
+		b.vals[i].Store(v)
+	}
+}
+
+// EventSetState is the mutable state of an EventSet: the values latched
+// at Start (which already went through any fault hook on the donor, so
+// they restore verbatim) and the interval anchor.
+type EventSetState struct {
+	Start map[Event]uint64
+	Began time.Duration
+}
+
+// SnapshotState captures the event set's latched baseline.
+func (s *EventSet) SnapshotState() EventSetState {
+	var start map[Event]uint64
+	if s.start != nil {
+		start = make(map[Event]uint64, len(s.start))
+		for e, v := range s.start {
+			start[e] = v
+		}
+	}
+	return EventSetState{Start: start, Began: s.began}
+}
+
+// RestoreState pours a captured baseline back. It replaces whatever
+// Start latched, so a restored engine must not call Start again.
+func (s *EventSet) RestoreState(st EventSetState) {
+	if st.Start == nil {
+		s.start = nil
+	} else {
+		s.start = make(map[Event]uint64, len(st.Start))
+		for e, v := range st.Start {
+			s.start[e] = v
+		}
+	}
+	s.began = st.Began
+}

@@ -1,0 +1,38 @@
+// Checkpoint accessors: the frequency domain and uncore restore their
+// fields raw, bypassing the quantizing/clamping setters — the captured
+// values already went through quantization on the donor run, and pushing
+// them through the setters again could round a ceiling-clamped frequency
+// differently than the donor held it.
+
+package cpu
+
+// DomainState is the mutable state of a frequency Domain (the Config is
+// construction-time and not part of it).
+type DomainState struct {
+	FreqMHz    float64
+	Duty       float64
+	CeilingMHz float64
+}
+
+// Snapshot captures the domain's operating point.
+func (d *Domain) Snapshot() DomainState {
+	return DomainState{FreqMHz: d.freq, Duty: d.duty, CeilingMHz: d.ceiling}
+}
+
+// Restore pours a captured operating point back, raw.
+func (d *Domain) Restore(s DomainState) {
+	d.freq = s.FreqMHz
+	d.duty = s.Duty
+	d.ceiling = s.CeilingMHz
+}
+
+// UncoreState is the mutable state of the Uncore.
+type UncoreState struct {
+	BWScale float64
+}
+
+// Snapshot captures the uncore's bandwidth grant.
+func (u *Uncore) Snapshot() UncoreState { return UncoreState{BWScale: u.bwScale} }
+
+// Restore pours a captured bandwidth grant back, raw.
+func (u *Uncore) Restore(s UncoreState) { u.bwScale = s.BWScale }

@@ -35,6 +35,10 @@ func TestMacroFixedTickEquivalence(t *testing.T) {
 	render := func(fixed bool) []string {
 		opts := quickOpts()
 		opts.FixedTick = fixed
+		// Both passes run with checkpoint/fork prefix reuse enabled, so
+		// this oracle also pins that forking preserves macro/fixed-tick
+		// equivalence across the whole suite.
+		opts.Forking = true
 		arts, err := All(opts)
 		if err != nil {
 			t.Fatalf("All(FixedTick=%v): %v", fixed, err)

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"progresscap/internal/engine"
 )
@@ -100,4 +101,43 @@ func (r *Runner) saveCached(key string, res *engine.Result) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 	}
+}
+
+// PruneDiskCache removes cache entries older than age (by modification
+// time) from dir, returning the number of entries removed and the bytes
+// freed. Only the cache's own ".json" files are candidates; anything
+// else in the directory is left alone. A missing directory prunes
+// nothing. Removal races (another process pruning concurrently) are
+// ignored; other I/O errors abort with what was freed so far.
+func PruneDiskCache(dir string, age time.Duration, now time.Time) (removed int, freed int64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("experiments: cache prune: %w", err)
+	}
+	cutoff := now.Add(-age)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue // deleted under us: not ours anymore
+		}
+		if !info.ModTime().Before(cutoff) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if rerr := os.Remove(path); rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue
+			}
+			return removed, freed, fmt.Errorf("experiments: cache prune: %w", rerr)
+		}
+		removed++
+		freed += info.Size()
+	}
+	return removed, freed, nil
 }

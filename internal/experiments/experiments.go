@@ -84,6 +84,14 @@ type Options struct {
 	// differently — so it flows into the run fingerprint. Pinned-DVFS
 	// runs carry no cap daemon and ignore it.
 	Backend string
+	// Forking enables checkpoint/fork prefix reuse across sweep cells:
+	// runs that share a simulation prefix (same workload, seed, flags,
+	// and cap decisions up to some second) resume from a pooled engine
+	// checkpoint instead of re-simulating it (see fork.go). Like
+	// Parallel and NodeWorkers this is an execution knob — results are
+	// byte-identical either way, which the fork-vs-scratch oracle test
+	// pins — so it is NOT part of any run fingerprint or memo key.
+	Forking bool
 
 	// runner schedules and memoizes runs. All generators reached through
 	// one Options value (All, or cmd/experiments via WithRunner) share it,
@@ -185,12 +193,12 @@ func (a *Artifact) Render() string {
 // capSpec describes one run under a scheme (nil = uncapped). mk must
 // build a fresh workload per call when the spec will be Prefetched.
 func (o Options) capSpec(mk func() *workload.Workload, scheme policy.Scheme, seed uint64, maxSeconds float64) RunSpec {
-	return RunSpec{Make: mk, Scheme: scheme, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick, Backend: o.Backend}
+	return RunSpec{Make: mk, Scheme: scheme, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick, Backend: o.Backend, Forking: o.Forking}
 }
 
 // dvfsSpec describes one run pinned at a frequency with RAPL manual.
 func (o Options) dvfsSpec(mk func() *workload.Workload, mhz float64, seed uint64, maxSeconds float64) RunSpec {
-	return RunSpec{Make: mk, DVFSMHz: mhz, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick}
+	return RunSpec{Make: mk, DVFSMHz: mhz, Seed: seed, MaxSeconds: maxSeconds, Invariants: o.CheckInvariants, FixedTick: o.FixedTick, Forking: o.Forking}
 }
 
 // engineConfig returns the node configuration every harness-built engine

@@ -10,9 +10,7 @@ import (
 	"progresscap/internal/cluster"
 	"progresscap/internal/engine"
 	"progresscap/internal/fault"
-	"progresscap/internal/msr"
 	"progresscap/internal/policy"
-	"progresscap/internal/powercap"
 	"progresscap/internal/rapl"
 	"progresscap/internal/spec"
 	"progresscap/internal/workload"
@@ -53,6 +51,13 @@ type RunSpec struct {
 	// emulated powercap tree (with the MSR path as failover). Part of the
 	// memoization key: sysfs floors caps where the MSR path rounds.
 	Backend string
+	// Forking enables prefix reuse: the run resumes from the deepest
+	// pooled checkpoint whose prefix fingerprint matches and publishes
+	// its own whole-second prefixes for later cells (see fork.go). An
+	// execution knob like NodeWorkers — wall-clock only, results are
+	// byte-identical — so it is deliberately NOT part of the
+	// memoization key or the disk-cache fingerprint.
+	Forking bool
 }
 
 // backend returns the normalized backend name: the explicit "msr"
@@ -130,6 +135,13 @@ type RunnerStats struct {
 	// executed. Cached runs contribute nothing — these are execution
 	// statistics, not result content.
 	Actuation rapl.ActuatorCounters
+	// ForkRuns counts executed runs that ran with prefix forking
+	// enabled, ForkHits those that actually resumed from a pooled
+	// snapshot, and ForkSkippedSec the virtual seconds those resumes
+	// skipped re-simulating. Execution statistics, like Actuation.
+	ForkRuns       uint64
+	ForkHits       uint64
+	ForkSkippedSec uint64
 }
 
 // Runner fans independent experiment runs over a bounded worker pool and
@@ -155,6 +167,12 @@ type Runner struct {
 	active   atomic.Int64
 	peak     atomic.Int64
 
+	// pool holds prefix checkpoints for Forking runs (see fork.go).
+	pool        *snapshotPool
+	forkRuns    atomic.Uint64
+	forkHits    atomic.Uint64
+	forkSkipSec atomic.Uint64
+
 	shardMu sync.Mutex
 	shards  cluster.ShardStats
 
@@ -171,6 +189,7 @@ func NewRunner(parallel int) *Runner {
 	return &Runner{
 		sem:     make(chan struct{}, parallel),
 		entries: make(map[string]*runEntry),
+		pool:    newSnapshotPool(defaultPoolBytes),
 	}
 }
 
@@ -186,12 +205,15 @@ func (r *Runner) Stats() RunnerStats {
 	actuation := r.actuation
 	r.actMu.Unlock()
 	return RunnerStats{
-		Executed:    r.executed.Load(),
-		CacheHits:   r.hits.Load(),
-		DiskHits:    r.diskHits.Load(),
-		PeakWorkers: int(r.peak.Load()),
-		Shards:      shards,
-		Actuation:   actuation,
+		Executed:       r.executed.Load(),
+		CacheHits:      r.hits.Load(),
+		DiskHits:       r.diskHits.Load(),
+		PeakWorkers:    int(r.peak.Load()),
+		Shards:         shards,
+		Actuation:      actuation,
+		ForkRuns:       r.forkRuns.Load(),
+		ForkHits:       r.forkHits.Load(),
+		ForkSkippedSec: r.forkSkipSec.Load(),
 	}
 }
 
@@ -290,7 +312,11 @@ func (r *Runner) execute(spec RunSpec, key string, e *runEntry) {
 		return
 	}
 	var act *rapl.ActuatorCounters
-	e.res, act, e.err = runOnce(spec)
+	if spec.Forking {
+		e.res, act, e.err = r.runForked(spec)
+	} else {
+		e.res, act, e.err = runOnce(spec)
+	}
 	if act != nil {
 		r.RecordActuation(*act)
 	}
@@ -300,63 +326,18 @@ func (r *Runner) execute(spec RunSpec, key string, e *runEntry) {
 	}
 }
 
-// runOnce performs one simulation from scratch: the single execution path
-// every experiment run in the package flows through, so all of them use
-// the same node configuration. The returned counters are non-nil only
+// runOnce performs one simulation from scratch: the construction lives
+// in build (shared with the forking path, so a resumed engine is wired
+// exactly like a scratch one). The returned counters are non-nil only
 // when the run actuated through the hardened backend layer.
 func runOnce(spec RunSpec) (*engine.Result, *rapl.ActuatorCounters, error) {
-	cfg := engine.DefaultConfig()
-	cfg.Seed = spec.Seed
-	cfg.FixedTick = spec.FixedTick
-	eng, err := engine.New(cfg, spec.Make())
+	b, err := build(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	if spec.Invariants {
-		eng.EnableInvariants(engine.InvariantConfig{})
-	}
-	if spec.Faults.Enabled() {
-		eng.SetFaults(fault.NewInjector(spec.Faults))
-	}
-	var act *rapl.Actuator
-	switch {
-	case spec.DVFSMHz > 0:
-		eng.SetManualDVFS(spec.DVFSMHz)
-	case spec.backend() == "sysfs":
-		// The sysfs path always installs a daemon (NoCap when the spec is
-		// uncapped): the backend IS the actuation route, so even an
-		// uncapped run exercises it. The zone shares the engine's device,
-		// and its fault hook comes from the injector's powercap stream.
-		zone := powercap.NewZone(eng.Device(), msr.DefaultUnits())
-		if inj := eng.Faults(); inj != nil {
-			zone.SetFaultHook(inj.Powercap().Hook())
-		}
-		act = rapl.NewActuator(rapl.ActuatorConfig{
-			Backends: []rapl.Backend{
-				powercap.NewBackend(zone),
-				rapl.NewMSRBackend(eng.Device(), 10*time.Millisecond),
-			},
-			Seed: spec.Seed,
-		})
-		scheme := spec.Scheme
-		if scheme == nil {
-			scheme = policy.NoCap{}
-		}
-		if err := eng.SetSchemeVia(scheme, rapl.DaemonWriter{A: act}); err != nil {
-			return nil, nil, err
-		}
-	case spec.Scheme != nil:
-		if err := eng.SetScheme(spec.Scheme); err != nil {
-			return nil, nil, err
-		}
-	}
-	res, err := eng.Run(time.Duration(spec.MaxSeconds * float64(time.Second)))
+	res, err := b.eng.Run(time.Duration(spec.MaxSeconds * float64(time.Second)))
 	if err != nil {
 		return nil, nil, err
 	}
-	if act != nil {
-		c := act.Counters()
-		return res, &c, invariantErr(eng)
-	}
-	return res, nil, invariantErr(eng)
+	return b.finish(res)
 }

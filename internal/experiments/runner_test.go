@@ -167,6 +167,11 @@ func TestAllParallelDeterminism(t *testing.T) {
 		// The shard axis rides the same sweep: the serial pass advances
 		// cluster nodes one at a time, the wide pass shards them 8-wide.
 		opts.NodeWorkers = parallel
+		// And the checkpoint/fork axis: the serial pass simulates every
+		// cell from scratch, the wide pass forks shared prefixes from the
+		// snapshot pool. Byte-identical renders pin forking as a pure
+		// execution knob.
+		opts.Forking = parallel > 1
 		arts, err := All(opts)
 		if err != nil {
 			t.Fatalf("All(parallel=%d): %v", parallel, err)

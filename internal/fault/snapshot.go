@@ -1,0 +1,155 @@
+// Checkpoint accessors for the fault-injection streams. A forked run
+// builds its injector from the *target's* plan (hooks and rate tables
+// come from construction) and then pours the donor's stream positions
+// in: RNG cursors, the delayed-message queue, and the loss accounting.
+// Node/link/manager streams never advance during a single-engine run —
+// their split RNGs are untouched — so they are not part of the state.
+
+package fault
+
+import (
+	"time"
+
+	"progresscap/internal/pubsub"
+	"progresscap/internal/simtime"
+)
+
+// DelayedMessage is one held message in the pub/sub delay queue.
+type DelayedMessage struct {
+	Due     time.Duration
+	Seq     uint64
+	Topic   string
+	Payload []byte
+}
+
+// PubSubState is the mutable state of the pub/sub fault stream.
+type PubSubState struct {
+	RNG        simtime.RNGState
+	Queue      []DelayedMessage
+	Seq        uint64
+	KickIdx    int
+	Dropped    uint64
+	DelayedN   uint64
+	Duplicated uint64
+	Blackout   uint64
+}
+
+// MSRState is the mutable state of the MSR fault stream.
+type MSRState struct {
+	RNG         simtime.RNGState
+	StaleServed uint64
+	ReadEIO     uint64
+	WriteEIO    uint64
+}
+
+// CountersState is the mutable state of the counter fault stream.
+type CountersState struct {
+	RNG      simtime.RNGState
+	Glitches uint64
+	Spike    bool
+}
+
+// PowercapState is the mutable state of the powercap fault stream.
+type PowercapState struct {
+	RNG       simtime.RNGState
+	Again     uint64
+	EIO       uint64
+	Truncated uint64
+	Stale     uint64
+	Denied    uint64
+	Gone      uint64
+}
+
+// InjectorState bundles every stream that advances during an engine run.
+type InjectorState struct {
+	PubSub   PubSubState
+	MSR      MSRState
+	Counters CountersState
+	Powercap PowercapState
+}
+
+// Snapshot captures the positions of all engine-visible fault streams.
+func (inj *Injector) Snapshot() InjectorState {
+	ps := inj.pubsub
+	st := InjectorState{
+		PubSub: PubSubState{
+			RNG:        ps.rng.State(),
+			Queue:      make([]DelayedMessage, len(ps.queue)),
+			Seq:        ps.seq,
+			KickIdx:    ps.kickIdx,
+			Dropped:    ps.dropped,
+			DelayedN:   ps.delayedN,
+			Duplicated: ps.duplected,
+			Blackout:   ps.blackout,
+		},
+		MSR: MSRState{
+			RNG:         inj.msr.rng.State(),
+			StaleServed: inj.msr.staleServed,
+			ReadEIO:     inj.msr.readEIO,
+			WriteEIO:    inj.msr.writeEIO,
+		},
+		Counters: CountersState{
+			RNG:      inj.counters.rng.State(),
+			Glitches: inj.counters.glitches,
+			Spike:    inj.counters.spike,
+		},
+		Powercap: PowercapState{
+			RNG:       inj.powercap.rng.State(),
+			Again:     inj.powercap.again,
+			EIO:       inj.powercap.eio,
+			Truncated: inj.powercap.truncated,
+			Stale:     inj.powercap.stale,
+			Denied:    inj.powercap.denied,
+			Gone:      inj.powercap.gone,
+		},
+	}
+	for i, d := range ps.queue {
+		st.PubSub.Queue[i] = DelayedMessage{
+			Due:     d.due,
+			Seq:     d.seq,
+			Topic:   d.m.Topic,
+			Payload: append([]byte(nil), d.m.Payload...),
+		}
+	}
+	return st
+}
+
+// Restore pours captured stream positions into this injector. The
+// injector should be freshly constructed from the run's plan; the
+// stream RNGs are overwritten wholesale, so only position (not seed
+// derivation) must match the donor.
+func (inj *Injector) Restore(st InjectorState) {
+	ps := inj.pubsub
+	ps.rng.SetState(st.PubSub.RNG)
+	ps.queue = make([]delayed, len(st.PubSub.Queue))
+	for i, d := range st.PubSub.Queue {
+		ps.queue[i] = delayed{
+			due: d.Due,
+			seq: d.Seq,
+			m:   pubsub.Message{Topic: d.Topic, Payload: append([]byte(nil), d.Payload...)},
+		}
+	}
+	ps.seq = st.PubSub.Seq
+	ps.kickIdx = st.PubSub.KickIdx
+	ps.dropped = st.PubSub.Dropped
+	ps.delayedN = st.PubSub.DelayedN
+	ps.duplected = st.PubSub.Duplicated
+	ps.blackout = st.PubSub.Blackout
+
+	inj.msr.rng.SetState(st.MSR.RNG)
+	inj.msr.staleServed = st.MSR.StaleServed
+	inj.msr.readEIO = st.MSR.ReadEIO
+	inj.msr.writeEIO = st.MSR.WriteEIO
+
+	inj.counters.rng.SetState(st.Counters.RNG)
+	inj.counters.glitches = st.Counters.Glitches
+	inj.counters.spike = st.Counters.Spike
+
+	inj.powercap.rng.SetState(st.Powercap.RNG)
+	inj.powercap.again = st.Powercap.Again
+	inj.powercap.eio = st.Powercap.EIO
+	inj.powercap.truncated = st.Powercap.Truncated
+	inj.powercap.stale = st.Powercap.Stale
+	inj.powercap.denied = st.Powercap.Denied
+	inj.powercap.gone = st.Powercap.Gone
+}

@@ -1,0 +1,85 @@
+// Checkpoint accessors for the emulated MSR device and the wrapping
+// energy counters. The register file, access statistics, write sequences
+// (the deadman's freshness signal), and per-scope stale-read images are
+// all semantic state a forked run must inherit bit-exactly; the write
+// whitelist and fault hook are construction/installation-time wiring the
+// restoring engine re-creates itself.
+
+package msr
+
+// DeviceState is a deep copy of a Device's mutable state.
+type DeviceState struct {
+	Pkg       map[uint32]uint64
+	Core      []map[uint32]uint64
+	Writes    uint64
+	Reads     uint64
+	WriteSeq  map[uint32]uint64
+	StalePkg  map[uint32]uint64
+	StaleCore []map[uint32]uint64
+}
+
+func copyRegs(m map[uint32]uint64) map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyCoreRegs(ms []map[uint32]uint64) []map[uint32]uint64 {
+	out := make([]map[uint32]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = copyRegs(m)
+	}
+	return out
+}
+
+// Snapshot captures the device's register file and access accounting.
+func (d *Device) Snapshot() DeviceState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DeviceState{
+		Pkg:       copyRegs(d.pkg),
+		Core:      copyCoreRegs(d.core),
+		Writes:    d.writes,
+		Reads:     d.reads,
+		WriteSeq:  copyRegs(d.writeSeq),
+		StalePkg:  copyRegs(d.stalePkg),
+		StaleCore: copyCoreRegs(d.staleCore),
+	}
+}
+
+// Restore pours a captured register file back. The state must come from
+// a device with the same core count.
+func (d *Device) Restore(s DeviceState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(s.Core) != d.cores || len(s.StaleCore) != d.cores {
+		panic("msr: device state core count mismatch")
+	}
+	d.pkg = copyRegs(s.Pkg)
+	d.core = copyCoreRegs(s.Core)
+	d.writes = s.Writes
+	d.reads = s.Reads
+	d.writeSeq = copyRegs(s.WriteSeq)
+	d.stalePkg = copyRegs(s.StalePkg)
+	d.staleCore = copyCoreRegs(s.StaleCore)
+}
+
+// EnergyCounterState is the full-resolution position of an EnergyCounter
+// (Raw here is the unmasked accumulator, not the 32-bit register image).
+type EnergyCounterState struct {
+	Raw  uint64
+	Frac float64
+}
+
+// Snapshot captures the counter's position.
+func (c *EnergyCounter) Snapshot() EnergyCounterState {
+	return EnergyCounterState{Raw: c.raw, Frac: c.frac}
+}
+
+// Restore pours a captured position back. Units stay as constructed.
+func (c *EnergyCounter) Restore(s EnergyCounterState) {
+	c.raw = s.Raw
+	c.frac = s.Frac
+}

@@ -1,0 +1,145 @@
+// Checkpoint support for the NRM daemon, complementing the journal
+// recovery path in recover.go: the journal restores the *durable*
+// decision state a crashed daemon wrote ahead, while Snapshot/
+// RestoreSnapshot capture the complete in-memory state — knob trials,
+// phase-detector position, probation countdowns — so a forked
+// simulation resumes mid-epoch-sequence bit-exactly instead of
+// re-earning trust and re-running trials.
+
+package nrm
+
+import (
+	"time"
+
+	"progresscap/internal/model"
+	"progresscap/internal/progress"
+	"progresscap/internal/rapl"
+	"progresscap/internal/trace"
+)
+
+// TrialState is the in-flight knob comparison (nil when none runs).
+type TrialState struct {
+	BudgetW   float64
+	RAPLRates []float64
+	DVFSRates []float64
+	Committed Knob
+}
+
+// State is the complete mutable state of an NRM. The engine pointer,
+// Config, journal writer, and actuator are construction wiring the
+// restored daemon brings itself.
+type State struct {
+	Params model.Params
+	Fitted bool
+
+	Epoch     int
+	BaseRate  float64
+	BasePowW  float64
+	BudgetW   float64
+	TargetRat float64
+
+	Trial *TrialState
+
+	Detector     progress.PhaseDetectorState
+	PriorChanges []progress.PhaseChange
+	LastKnob     Knob
+	LastSetting  float64
+	StableEpochs int
+	PhaseChanges int
+
+	Mode          Mode
+	Backoff       int
+	ProbationLeft int
+	CleanEpochs   int
+	Transitions   []ModeTransition
+
+	StartAt  time.Duration
+	Counters Counters
+	JErr     error
+
+	Energy  rapl.EnergyReaderState
+	EnergyJ float64
+
+	Decisions []Decision
+	RateTrace []trace.Point
+}
+
+// Snapshot captures the daemon's state.
+func (n *NRM) Snapshot() State {
+	st := State{
+		Params:        n.params,
+		Fitted:        n.fitted,
+		Epoch:         n.epoch,
+		BaseRate:      n.baseRate,
+		BasePowW:      n.basePowW,
+		BudgetW:       n.budgetW,
+		TargetRat:     n.targetRat,
+		Detector:      n.detector.Snapshot(),
+		PriorChanges:  append([]progress.PhaseChange(nil), n.priorChanges...),
+		LastKnob:      n.lastKnob,
+		LastSetting:   n.lastSetting,
+		StableEpochs:  n.stableEpochs,
+		PhaseChanges:  n.phaseChanges,
+		Mode:          n.mode,
+		Backoff:       n.backoff,
+		ProbationLeft: n.probationLeft,
+		CleanEpochs:   n.cleanEpochs,
+		Transitions:   append([]ModeTransition(nil), n.transitions...),
+		StartAt:       n.startAt,
+		Counters:      n.counters,
+		JErr:          n.jErr,
+		Energy:        n.energy.Snapshot(),
+		EnergyJ:       n.energyJ,
+		Decisions:     append([]Decision(nil), n.decisions...),
+		RateTrace:     n.rateTrace.Snapshot(),
+	}
+	if n.trial != nil {
+		st.Trial = &TrialState{
+			BudgetW:   n.trial.budgetW,
+			RAPLRates: append([]float64(nil), n.trial.raplRates...),
+			DVFSRates: append([]float64(nil), n.trial.dvfsRates...),
+			Committed: n.trial.committed,
+		}
+	}
+	return st
+}
+
+// RestoreSnapshot pours a captured state into a freshly constructed NRM
+// (same Config, engine already restored to the matching checkpoint).
+func (n *NRM) RestoreSnapshot(st State) {
+	n.params = st.Params
+	n.fitted = st.Fitted
+	n.epoch = st.Epoch
+	n.baseRate = st.BaseRate
+	n.basePowW = st.BasePowW
+	n.budgetW = st.BudgetW
+	n.targetRat = st.TargetRat
+	if st.Trial != nil {
+		n.trial = &trial{
+			budgetW:   st.Trial.BudgetW,
+			raplRates: append([]float64(nil), st.Trial.RAPLRates...),
+			dvfsRates: append([]float64(nil), st.Trial.DVFSRates...),
+			committed: st.Trial.Committed,
+		}
+	} else {
+		n.trial = nil
+	}
+	n.detector.Restore(st.Detector)
+	n.priorChanges = append([]progress.PhaseChange(nil), st.PriorChanges...)
+	n.lastKnob = st.LastKnob
+	n.lastSetting = st.LastSetting
+	n.stableEpochs = st.StableEpochs
+	n.phaseChanges = st.PhaseChanges
+	n.mode = st.Mode
+	n.backoff = st.Backoff
+	n.probationLeft = st.ProbationLeft
+	n.cleanEpochs = st.CleanEpochs
+	n.transitions = append([]ModeTransition(nil), st.Transitions...)
+	n.startAt = st.StartAt
+	n.counters = st.Counters
+	n.jErr = st.JErr
+	n.energy.Restore(st.Energy)
+	n.energyJ = st.EnergyJ
+	n.decisions = append([]Decision(nil), st.Decisions...)
+	n.rateTrace.Restore(st.RateTrace)
+}

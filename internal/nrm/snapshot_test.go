@@ -1,0 +1,138 @@
+package nrm
+
+import (
+	"reflect"
+	"testing"
+
+	"progresscap/internal/apps"
+	"progresscap/internal/engine"
+)
+
+// stepN advances an NRM n epochs (or until the workload completes).
+func stepN(t *testing.T, n *NRM, epochs int) {
+	t.Helper()
+	for i := 0; i < epochs; i++ {
+		done, err := n.Step()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func newBudgetNRM(t *testing.T) *NRM {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	e, err := engine.New(cfg, apps.STREAM(apps.DefaultRanks, 2_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Beta: 0.3, DVFSTable: streamDVFSTable}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetBudget(110)
+	return n
+}
+
+// TestNRMSnapshotResume forks an NRM-driven simulation mid-run — during
+// the knob trial and again after it commits — and requires the forked
+// continuation to be bit-identical to the straight-through run: same
+// engine signature, same decision log, same trust-machine history.
+func TestNRMSnapshotResume(t *testing.T) {
+	const totalEpochs = 16
+	for _, forkAt := range []int{6, 11} {
+		// Straight-through reference.
+		ref := newBudgetNRM(t)
+		stepN(t, ref, totalEpochs)
+		refRes, err := ref.eng.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		donor := newBudgetNRM(t)
+		stepN(t, donor, forkAt)
+		ck, err := donor.eng.Checkpoint()
+		if err != nil {
+			t.Fatalf("fork at %d: %v", forkAt, err)
+		}
+		st := donor.Snapshot()
+
+		forked := newBudgetNRM(t)
+		if err := forked.eng.Resume(ck); err != nil {
+			t.Fatalf("fork at %d: resume: %v", forkAt, err)
+		}
+		forked.RestoreSnapshot(st)
+		stepN(t, forked, totalEpochs-forkAt)
+		forkRes, err := forked.eng.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got, want := forkRes.Signature(), refRes.Signature(); got != want {
+			t.Errorf("fork at %d: engine signature diverges from straight run", forkAt)
+		}
+		if !reflect.DeepEqual(forked.Decisions(), ref.Decisions()) {
+			t.Errorf("fork at %d: decision logs diverge:\nfork: %+v\nref:  %+v",
+				forkAt, forked.Decisions(), ref.Decisions())
+		}
+		if !reflect.DeepEqual(forked.ModeTransitions(), ref.ModeTransitions()) {
+			t.Errorf("fork at %d: trust transitions diverge", forkAt)
+		}
+		if forked.PhaseChanges() != ref.PhaseChanges() {
+			t.Errorf("fork at %d: phase-change counts diverge: %d vs %d",
+				forkAt, forked.PhaseChanges(), ref.PhaseChanges())
+		}
+	}
+}
+
+// TestNRMStateInventory pins the NRM's field set against the snapshot
+// (same discipline as the engine's TestEngineStateInventory): a new
+// field must be snapshotted or exempted here with a reason.
+func TestNRMStateInventory(t *testing.T) {
+	check := func(typ reflect.Type, snapshotted []string, exempt map[string]string) {
+		t.Helper()
+		seen := map[string]bool{}
+		for i := 0; i < typ.NumField(); i++ {
+			name := typ.Field(i).Name
+			seen[name] = true
+			inSnap := false
+			for _, s := range snapshotted {
+				if s == name {
+					inSnap = true
+					break
+				}
+			}
+			if _, inExempt := exempt[name]; !inSnap && !inExempt {
+				t.Errorf("%s.%s is not covered by Snapshot: add it to State or exempt it with a reason", typ, name)
+			}
+		}
+		for _, s := range snapshotted {
+			if !seen[s] {
+				t.Errorf("%s: snapshotted field %q no longer exists", typ, s)
+			}
+		}
+		for s := range exempt {
+			if !seen[s] {
+				t.Errorf("%s: exempt field %q no longer exists", typ, s)
+			}
+		}
+	}
+
+	check(reflect.TypeOf(NRM{}),
+		[]string{
+			"params", "fitted", "epoch", "baseRate", "basePowW", "budgetW",
+			"targetRat", "trial", "detector", "priorChanges", "lastKnob",
+			"lastSetting", "stableEpochs", "phaseChanges", "mode", "backoff",
+			"probationLeft", "cleanEpochs", "transitions", "startAt",
+			"counters", "jErr", "energy", "energyJ", "decisions", "rateTrace",
+		},
+		map[string]string{
+			"cfg": "construction configuration (journal and actuator wiring included)",
+			"eng": "wiring; the engine has its own Checkpoint/Resume",
+		})
+	check(reflect.TypeOf(trial{}),
+		[]string{"budgetW", "raplRates", "dvfsRates", "committed"}, nil)
+}

@@ -1,0 +1,39 @@
+// Checkpoint accessors for the capping daemon. Schemes are stateless
+// values, so the daemon's state is its anchor, apply count, and the cap
+// trace it has emitted so far. The restored daemon is built from the
+// run's own scheme — the trace series keeps its own name, which never
+// appears in result signatures — and inherits the donor's points.
+
+package policy
+
+import (
+	"time"
+
+	"progresscap/internal/trace"
+)
+
+// DaemonState is the mutable state of a Daemon.
+type DaemonState struct {
+	Start    time.Duration
+	Started  bool
+	Applied  uint64
+	CapTrace []trace.Point
+}
+
+// Snapshot captures the daemon's state.
+func (d *Daemon) Snapshot() DaemonState {
+	return DaemonState{
+		Start:    d.start,
+		Started:  d.started,
+		Applied:  d.applied,
+		CapTrace: d.capTrace.Snapshot(),
+	}
+}
+
+// Restore pours a captured state back.
+func (d *Daemon) Restore(s DaemonState) {
+	d.start = s.Start
+	d.started = s.Started
+	d.applied = s.Applied
+	d.capTrace.Restore(s.CapTrace)
+}

@@ -1,0 +1,42 @@
+// Checkpoint accessors for the Meter. The model and time constant are
+// construction-time configuration; everything the meter accumulates over
+// a run — energy integrals, the EWMA average, the last instantaneous
+// breakdown — is captured here bit-exactly so a forked run's power traces
+// continue from the same floats the donor held.
+
+package power
+
+// MeterState is the mutable state of a Meter.
+type MeterState struct {
+	AvgPkgW float64
+	HavePkg bool
+	EnergyJ float64
+	CoreJ   float64
+	UncoreJ float64
+	DRAMJ   float64
+	LastBrk Breakdown
+}
+
+// Snapshot captures the meter's accumulated state.
+func (mt *Meter) Snapshot() MeterState {
+	return MeterState{
+		AvgPkgW: mt.avgPkgW,
+		HavePkg: mt.havePkg,
+		EnergyJ: mt.energyJ,
+		CoreJ:   mt.coreJ,
+		UncoreJ: mt.uncoreJ,
+		DRAMJ:   mt.dramJ,
+		LastBrk: mt.lastBrk,
+	}
+}
+
+// Restore pours a captured state back.
+func (mt *Meter) Restore(s MeterState) {
+	mt.avgPkgW = s.AvgPkgW
+	mt.havePkg = s.HavePkg
+	mt.energyJ = s.EnergyJ
+	mt.coreJ = s.CoreJ
+	mt.uncoreJ = s.UncoreJ
+	mt.dramJ = s.DRAMJ
+	mt.lastBrk = s.LastBrk
+}

@@ -1,0 +1,35 @@
+// Checkpoint accessors for the powercap-sysfs zone façade. The zone's
+// state is its stale-energy image and access accounting; the device and
+// fault hook are wired by the restoring run's own construction path.
+
+package powercap
+
+// ZoneState is the mutable state of a Zone.
+type ZoneState struct {
+	StaleEnergy uint64
+	StaleSeen   bool
+	Reads       uint64
+	Writes      uint64
+}
+
+// Snapshot captures the zone's state.
+func (z *Zone) Snapshot() ZoneState {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return ZoneState{
+		StaleEnergy: z.staleEnergy,
+		StaleSeen:   z.staleSeen,
+		Reads:       z.reads,
+		Writes:      z.writes,
+	}
+}
+
+// Restore pours a captured state back.
+func (z *Zone) Restore(s ZoneState) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.staleEnergy = s.StaleEnergy
+	z.staleSeen = s.StaleSeen
+	z.reads = s.Reads
+	z.writes = s.Writes
+}

@@ -1,0 +1,99 @@
+// Checkpoint accessors for the progress pipeline. A checkpoint happens
+// at a window boundary, immediately after the engine drained every
+// subscription and flushed every monitor — so a monitor's pending slice
+// is empty by construction (Pending exposes the check) and only the
+// aggregated state needs to travel. The Decoder's interning map is a
+// pure cache and starts fresh on the restored side.
+
+package progress
+
+import "time"
+
+// MonitorState is the mutable state of a Monitor (the window is
+// construction-time configuration).
+type MonitorState struct {
+	Samples      []Sample
+	Total        float64
+	Reports      uint64
+	LastFlush    time.Duration
+	Rejected     uint64
+	History      []float64
+	HistPos      int
+	EmptyWindows int
+}
+
+// Pending returns how many raw reports await the next Flush. The engine
+// requires zero before checkpointing.
+func (m *Monitor) Pending() int { return len(m.pending) }
+
+// Snapshot captures the monitor's aggregated state. It panics if raw
+// reports are pending: a mid-window checkpoint is an engine bug.
+func (m *Monitor) Snapshot() MonitorState {
+	if len(m.pending) != 0 {
+		panic("progress: monitor snapshot with pending reports")
+	}
+	return MonitorState{
+		Samples:      append([]Sample(nil), m.samples...),
+		Total:        m.total,
+		Reports:      m.reports,
+		LastFlush:    m.lastFlush,
+		Rejected:     m.rejected,
+		History:      append([]float64(nil), m.history...),
+		HistPos:      m.histPos,
+		EmptyWindows: m.emptyWindows,
+	}
+}
+
+// Restore pours a captured state back.
+func (m *Monitor) Restore(s MonitorState) {
+	m.pending = m.pending[:0]
+	m.samples = append([]Sample(nil), s.Samples...)
+	m.total = s.Total
+	m.reports = s.Reports
+	m.lastFlush = s.LastFlush
+	m.rejected = s.Rejected
+	m.history = append([]float64(nil), s.History...)
+	m.histPos = s.HistPos
+	m.emptyWindows = s.EmptyWindows
+}
+
+// ReporterState is the mutable state of a Reporter.
+type ReporterState struct {
+	Sent uint64
+}
+
+// Snapshot captures the reporter's publish count.
+func (r *Reporter) Snapshot() ReporterState { return ReporterState{Sent: r.sent} }
+
+// Restore pours a captured publish count back.
+func (r *Reporter) Restore(s ReporterState) { r.sent = s.Sent }
+
+// PhaseDetectorState is the mutable state of a PhaseDetector (relTol and
+// minLen are construction-time configuration).
+type PhaseDetectorState struct {
+	N       int
+	Level   float64
+	LevelN  int
+	Pending []float64
+	Changes []PhaseChange
+}
+
+// Snapshot captures the detector's state.
+func (d *PhaseDetector) Snapshot() PhaseDetectorState {
+	return PhaseDetectorState{
+		N:       d.n,
+		Level:   d.level,
+		LevelN:  d.levelN,
+		Pending: append([]float64(nil), d.pending...),
+		Changes: append([]PhaseChange(nil), d.changes...),
+	}
+}
+
+// Restore pours a captured state back.
+func (d *PhaseDetector) Restore(s PhaseDetectorState) {
+	d.n = s.N
+	d.level = s.Level
+	d.levelN = s.LevelN
+	d.pending = append(d.pending[:0:0], s.Pending...)
+	d.changes = append([]PhaseChange(nil), s.Changes...)
+}

@@ -1,0 +1,34 @@
+// Checkpoint accessors: the engine's checkpoint/fork layer snapshots a
+// run mid-flight and pours the state into a freshly constructed engine.
+// RNG stream position and ticker phase are the two pieces of simtime
+// state that survive a fork; the clock itself restores through the
+// ordinary AdvanceTo, and a scheduler with pending closures cannot be
+// checkpointed at all (closures do not serialize), which the engine
+// enforces by refusing to snapshot while Scheduler.Len() > 0.
+
+package simtime
+
+import "time"
+
+// RNGState is the serializable position of one RNG stream. The inc field
+// rides along so a restored generator is a whole-generator copy, not just
+// a repositioned state: Split derives child streams from inc.
+type RNGState struct {
+	State uint64
+	Inc   uint64
+}
+
+// State returns the generator's current position.
+func (r *RNG) State() RNGState { return RNGState{State: r.state, Inc: r.inc} }
+
+// SetState repositions the generator. Restoring the state captured from
+// an identically seeded generator replays the exact draw sequence from
+// the capture point.
+func (r *RNG) SetState(s RNGState) {
+	r.state = s.State
+	r.inc = s.Inc
+}
+
+// SetNext repositions the ticker's next fire time. The period is
+// construction-time configuration and does not move.
+func (t *Ticker) SetNext(next time.Duration) { t.next = next }

@@ -29,7 +29,7 @@ func TestRunFingerprintFieldSet(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("RunFingerprint fields = %v, want %v", got, want)
 	}
-	for _, banned := range []string{"Parallel", "NodeWorkers", "Workers", "Shards"} {
+	for _, banned := range []string{"Parallel", "NodeWorkers", "Workers", "Shards", "Forking"} {
 		if _, ok := typ.FieldByName(banned); ok {
 			t.Fatalf("execution knob %s leaked into the run fingerprint", banned)
 		}

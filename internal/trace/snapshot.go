@@ -1,0 +1,21 @@
+// Checkpoint accessors for Series: the engine's checkpoint layer deep-
+// copies every trace so a pooled snapshot can seed many forked runs
+// concurrently while the donor keeps appending to its own live series.
+
+package trace
+
+// Snapshot returns a deep copy of the series' points. Mutating the
+// returned slice never affects the live series, and vice versa.
+func (s *Series) Snapshot() []Point {
+	if len(s.pts) == 0 {
+		return nil
+	}
+	return append([]Point(nil), s.pts...)
+}
+
+// Restore replaces the series' points with a deep copy of pts, which
+// must be in non-decreasing time order (they came from Snapshot, which
+// guarantees it).
+func (s *Series) Restore(pts []Point) {
+	s.pts = append(s.pts[:0:0], pts...)
+}

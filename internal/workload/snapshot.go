@@ -1,0 +1,135 @@
+// Checkpoint support for Exec. Generators are closures — some carry
+// hidden state (the apps' shared-jitter draws) — so an executor cannot
+// be deep-copied field by field. Instead the restore *replays* the
+// generator call sequence: loadIteration is the only place the RNG is
+// consumed and the only place generator closures run, and it runs in a
+// deterministic (phase, iter) order from construction. Replaying that
+// sequence on a fresh identically-seeded executor reproduces both the
+// RNG position and every closure's internal state; the snapshot then
+// overwrites the mid-iteration remainders, accounting, and anchors.
+
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"progresscap/internal/simtime"
+)
+
+// RankSnapshot is one rank's mid-iteration execution state.
+type RankSnapshot struct {
+	Seg       Segment
+	RemCycles float64
+	RemMem    float64
+	RemSleep  float64
+	Finished  bool
+	Load      RankLoad
+}
+
+// ExecState is the complete mutable state of an Exec.
+type ExecState struct {
+	PhaseIdx  int
+	Iter      int
+	IterStart time.Duration
+	Done      bool
+	At        time.Duration
+	RNG       simtime.RNGState
+	Ranks     []RankSnapshot
+}
+
+// Snapshot captures the executor's state.
+func (e *Exec) Snapshot() ExecState {
+	st := ExecState{
+		PhaseIdx:  e.phaseIdx,
+		Iter:      e.iter,
+		IterStart: e.iterStart,
+		Done:      e.done,
+		At:        e.at,
+		RNG:       e.rng.State(),
+		Ranks:     make([]RankSnapshot, len(e.ranks)),
+	}
+	for r := range e.ranks {
+		rs := &e.ranks[r]
+		st.Ranks[r] = RankSnapshot{
+			Seg:       rs.seg,
+			RemCycles: rs.remCycles,
+			RemMem:    rs.remMem,
+			RemSleep:  rs.remSleep,
+			Finished:  rs.finished,
+			Load:      rs.load,
+		}
+	}
+	return st
+}
+
+// globalIter returns the executor's position as a count of completed
+// loadIteration calls after the constructor's: phase-by-phase iteration
+// order is fixed, so (phaseIdx, iter) maps to one replay count.
+func (e *Exec) globalIter(phaseIdx, iter int) (int, error) {
+	if phaseIdx < 0 || phaseIdx >= len(e.w.Phases) {
+		return 0, fmt.Errorf("workload %s: snapshot phase %d outside [0,%d)", e.w.Name, phaseIdx, len(e.w.Phases))
+	}
+	if iter < 0 || iter >= e.w.Phases[phaseIdx].Iterations {
+		return 0, fmt.Errorf("workload %s: snapshot iter %d outside phase %d", e.w.Name, iter, phaseIdx)
+	}
+	n := 0
+	for p := 0; p < phaseIdx; p++ {
+		n += e.w.Phases[p].Iterations
+	}
+	return n + iter, nil
+}
+
+// Restore positions a freshly constructed executor (same workload, same
+// seed, same offset, untouched since NewExecOffset) at the captured
+// state. It replays the generator sequence up to the snapshot's
+// iteration — reproducing RNG position and generator-closure state —
+// then overwrites the mid-iteration remainders. The RNG position is
+// verified against the snapshot: a mismatch means the executor was not
+// fresh or the workload differs, and is returned as an error.
+func (e *Exec) Restore(st ExecState) error {
+	if len(st.Ranks) != len(e.ranks) {
+		return fmt.Errorf("workload %s: snapshot has %d ranks, executor %d", e.w.Name, len(st.Ranks), len(e.ranks))
+	}
+	if e.phaseIdx != 0 || e.iter != 0 || e.at != 0 || e.done {
+		return fmt.Errorf("workload %s: restore onto a non-fresh executor", e.w.Name)
+	}
+	target := e.w.TotalIterations() // replay count when the snapshot is done
+	if !st.Done {
+		var err error
+		target, err = e.globalIter(st.PhaseIdx, st.Iter)
+		if err != nil {
+			return err
+		}
+	}
+	// The constructor already ran loadIteration for global iteration 0;
+	// advance() runs it for each subsequent one (and flips done past the
+	// last). Replay with a zero timestamp — iterStart is overwritten below.
+	for g := 0; g < target && !e.done; g++ {
+		e.advance(0)
+	}
+	if !st.Done && (e.phaseIdx != st.PhaseIdx || e.iter != st.Iter) {
+		return fmt.Errorf("workload %s: replay landed at phase %d iter %d, snapshot says %d/%d",
+			e.w.Name, e.phaseIdx, e.iter, st.PhaseIdx, st.Iter)
+	}
+	if e.done != st.Done {
+		return fmt.Errorf("workload %s: replay done=%v, snapshot done=%v", e.w.Name, e.done, st.Done)
+	}
+	if got := e.rng.State(); got != st.RNG {
+		return fmt.Errorf("workload %s: replayed RNG diverges from snapshot (different seed or workload?)", e.w.Name)
+	}
+	for r := range e.ranks {
+		rs := st.Ranks[r]
+		e.ranks[r] = rankState{
+			seg:       rs.Seg,
+			remCycles: rs.RemCycles,
+			remMem:    rs.RemMem,
+			remSleep:  rs.RemSleep,
+			finished:  rs.Finished,
+			load:      rs.Load,
+		}
+	}
+	e.iterStart = st.IterStart
+	e.at = st.At
+	return nil
+}
